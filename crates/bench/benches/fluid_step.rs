@@ -1,0 +1,35 @@
+//! Criterion bench for one full platform control epoch (demand
+//! propagation + parallel pod managers + global knobs) at two scales.
+//! This is the simulator's own cost — it bounds how large a scenario the
+//! experiment harness can sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megadc::{Platform, PlatformConfig};
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform_step");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("small_16srv", PlatformConfig::small_test()),
+        ("pod_400srv", PlatformConfig::pod_scale()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("epoch", label), &cfg, |b, cfg| {
+            let mut p = Platform::build(*cfg).expect("build");
+            p.run_epochs(5); // warm state
+            b.iter(|| p.step().served_fraction())
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform_build");
+    group.sample_size(10);
+    group.bench_function("build_pod_scale", |b| {
+        b.iter(|| Platform::build(PlatformConfig::pod_scale()).expect("build").state.num_rips())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench behind E1: the Tang-style placement controller's cost
+//! at pod scale vs beyond-pod scale, and the first-fit baseline.
+//!
+//! The paper's §III.A pod caps (≤5,000 servers / ≤10,000 VMs) exist
+//! precisely because this cost curve bends super-linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcsim::rng::component_rng;
+use placement::{AppReq, FirstFit, PlacementAlgorithm, PlacementProblem, ServerCap, TangController};
+use rand::Rng;
+
+fn problem(servers: usize) -> PlacementProblem {
+    let apps = servers * 5 / 2;
+    let mut rng = component_rng(1, "bench-problem", servers as u64);
+    let target_total = servers as f64 * 8.0 * 0.6;
+    let mut demands: Vec<f64> =
+        (0..apps).map(|i| 1.0 / ((i + 1) as f64).powf(0.7) + rng.gen_range(0.0..0.05)).collect();
+    let sum: f64 = demands.iter().sum();
+    for d in &mut demands {
+        *d *= target_total / sum;
+    }
+    PlacementProblem {
+        servers: vec![ServerCap { cpu: 8.0, max_vms: 16 }; servers],
+        apps: demands.into_iter().map(|d| AppReq { demand_cpu: d, vm_cap: 2.0 }).collect(),
+    }
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    for &servers in &[125usize, 250, 500, 1000] {
+        let prob = problem(servers);
+        group.bench_with_input(BenchmarkId::new("tang_flat", servers), &prob, |b, p| {
+            let tang = TangController::default();
+            b.iter(|| tang.compute(p, None).total_satisfied())
+        });
+        group.bench_with_input(BenchmarkId::new("first_fit", servers), &prob, |b, p| {
+            b.iter(|| FirstFit.compute(p, None).total_satisfied())
+        });
+        // Warm-start: the incremental path the pod manager actually runs.
+        let tang = TangController::default();
+        let incumbent = tang.compute(&prob, None);
+        group.bench_with_input(
+            BenchmarkId::new("tang_incremental", servers),
+            &(prob, incumbent),
+            |b, (p, inc)| {
+                let tang = TangController::default();
+                b.iter(|| tang.compute(p, Some(inc)).total_satisfied())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the §III.C VIP/RIP manager: allocation throughput
+//! of the serialized queue (E10/E12's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megadc::state::PlatformState;
+use megadc::viprip::{Priority, Request, VipRipManager};
+use megadc::{AppId, PlatformConfig};
+
+fn state(num_switches: usize) -> PlatformState {
+    let mut cfg = PlatformConfig::small_test();
+    cfg.num_switches = num_switches;
+    cfg.num_apps = 10_000;
+    PlatformState::new(cfg)
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("viprip");
+    group.sample_size(10);
+    for &switches in &[8usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("new_vip_x3000", switches),
+            &switches,
+            |b, &switches| {
+                b.iter_batched(
+                    || {
+                        let mut st = state(switches);
+                        let mut mgr = VipRipManager::new();
+                        for a in 0..1000 {
+                            st.register_app(a);
+                            for _ in 0..3 {
+                                mgr.submit(Priority::Normal, Request::NewVip { app: AppId(a as u32) });
+                            }
+                        }
+                        (st, mgr)
+                    },
+                    |(mut st, mut mgr)| mgr.process_all(&mut st).len(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! `expt` — regenerate the experiment tables (E1–E12, see DESIGN.md §4).
+//!
+//! ```sh
+//! cargo run --release -p megadc-bench --bin expt -- all
+//! cargo run --release -p megadc-bench --bin expt -- e3 e4
+//! cargo run --release -p megadc-bench --bin expt -- --quick all
+//! ```
+
+use megadc_bench::{run_experiment, EXPERIMENTS};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    if args.is_empty() {
+        eprintln!("usage: expt [--quick] <e1..e14 | all> ...");
+        std::process::exit(2);
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        match run_experiment(&id, quick) {
+            Some(report) => {
+                println!("{}", "=".repeat(78));
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (expected e1..e14 or all)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

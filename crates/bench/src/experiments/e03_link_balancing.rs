@@ -1,0 +1,170 @@
+//! E3 — selective VIP exposure vs naive VIP re-advertisement (§IV.A).
+//!
+//! The paper's claims: with selective exposure, "overloaded links are
+//! relieved as soon as DNS starts exposing new VIPs, and routing updates
+//! are infrequent as they are decoupled from the load-balancing
+//! decisions"; whereas "load balancing based on dynamic VIP advertising is
+//! slow and increases the number of route updates".
+//!
+//! Three runs of the same overload scenario — no control, selective
+//! exposure, naive re-advertisement — compared on time-to-relief, route
+//! updates and final balance.
+
+use dcsim::table::{fnum, Table};
+use dcsim::SimTime;
+use megadc::config::KnobFlags;
+use megadc::{AppId, Platform, PlatformConfig};
+
+fn scenario() -> PlatformConfig {
+    let mut cfg = PlatformConfig::pod_scale();
+    cfg.seed = 303;
+    cfg.diurnal_amplitude = 0.0;
+    cfg.num_access_links = 3;
+    cfg.access_link_bps = 25e9;
+    cfg.total_demand_bps = 40e9;
+    cfg
+}
+
+/// Skew the top apps' exposure onto link 0 (a stale configuration).
+fn skew_to_link0(p: &mut Platform, now: SimTime) {
+    for app in p.workload.apps_by_popularity().into_iter().take(40) {
+        let vips = p.state.app(AppId(app)).unwrap().vips.clone();
+        let weights: Vec<(lbswitch::VipAddr, f64)> = vips
+            .iter()
+            .map(|&v| {
+                let rec = p.state.vip(v).unwrap();
+                let on0 = rec.router.map(|r| r.0 == 0).unwrap_or(false);
+                (v, if on0 && p.state.vip_rip_count(v) > 0 { 1.0 } else { 0.0 })
+            })
+            .collect();
+        if weights.iter().any(|&(_, w)| w > 0.0) {
+            p.state.dns.set_exposure(app, weights, now);
+        }
+    }
+}
+
+struct Outcome {
+    relief_s: Option<f64>,
+    route_updates: u64,
+    dns_updates: u64,
+    final_max_util: f64,
+    final_fairness: f64,
+}
+
+fn run_mode(mode: &str, epochs: u64) -> Outcome {
+    let mut cfg = scenario();
+    // Capacity-proportional exposure (§IV.B) also rewrites DNS weights and
+    // would undo the skew in every mode; disable it so the experiment
+    // isolates the *link* knob against its alternatives.
+    let base = KnobFlags { capacity_exposure: false, ..KnobFlags::ALL };
+    match mode {
+        "none" => cfg.knobs = KnobFlags { link_exposure: false, ..base },
+        "exposure" => cfg.knobs = base,
+        "readvertise" => cfg.knobs = KnobFlags { link_exposure: false, ..base },
+        _ => unreachable!(),
+    }
+    let mut p = Platform::build(cfg).expect("build");
+    let t_skew = p.now();
+    skew_to_link0(&mut p, t_skew);
+    let updates0 = p.state.routes.updates_sent();
+    let dns0 = p.state.dns.reconfigurations();
+    let threshold = cfg.link_overload_threshold;
+
+    let mut relief: Option<f64> = None;
+    let mut seen_hot = false;
+    let mut last = None;
+    for _ in 0..epochs {
+        let snap = p.step();
+        let utils = snap.link_utilizations(&p.state);
+        let max = utils.iter().cloned().fold(0.0, f64::max);
+        if max > threshold {
+            seen_hot = true;
+        }
+        if seen_hot && relief.is_none() && utils[0] <= threshold {
+            relief = Some((p.now() - t_skew).as_secs_f64());
+        }
+        // Naive mode: per-decision route churn — withdraw the hottest
+        // VIPs from the hot link's router and re-advertise them at the
+        // coldest (the mechanism the paper argues against).
+        if mode == "readvertise" && max > threshold {
+            let hot = utils
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .unwrap();
+            let cold = utils
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .unwrap();
+            // Hottest VIPs currently advertised at the hot router.
+            let mut vips: Vec<(lbswitch::VipAddr, f64)> = p
+                .state
+                .vips()
+                .filter(|(_, rec)| rec.router.map(|r| r.index() == hot).unwrap_or(false))
+                .map(|(v, _)| (v, snap.vip_demand_bps.get(&v).copied().unwrap_or(0.0)))
+                .collect();
+            vips.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let now = p.now();
+            for (v, _) in vips.into_iter().take(4) {
+                // withdraw + advertise: 2 route updates, relief only after
+                // BGP convergence.
+                let router = dcnet::access::AccessRouterId(cold as u32);
+                p.state.advertise_vip(v, router, now).expect("VIP exists");
+            }
+        }
+        last = Some(snap);
+    }
+    let snap = last.expect("ran at least one epoch");
+    Outcome {
+        relief_s: relief,
+        route_updates: p.state.routes.updates_sent() - updates0,
+        dns_updates: p.state.dns.reconfigurations() - dns0,
+        final_max_util: snap.link_utilizations(&p.state).iter().cloned().fold(0.0, f64::max),
+        final_fairness: snap.link_fairness(&p.state),
+    }
+}
+
+/// Run the comparison.
+pub fn run(quick: bool) -> String {
+    let epochs = if quick { 60 } else { 180 };
+    let mut t = Table::new([
+        "mode",
+        "time-to-relief (s)",
+        "route updates",
+        "DNS updates",
+        "final max util",
+        "final fairness",
+    ]);
+    for mode in ["none", "exposure", "readvertise"] {
+        let o = run_mode(mode, epochs);
+        t.row([
+            mode.to_string(),
+            o.relief_s.map(|s| fnum(s, 0)).unwrap_or_else(|| "never".into()),
+            o.route_updates.to_string(),
+            o.dns_updates.to_string(),
+            fnum(o.final_max_util, 3),
+            fnum(o.final_fairness, 3),
+        ]);
+    }
+    format!(
+        "E3 — access-link balancing: selective VIP exposure vs re-advertisement (§IV.A)\n\
+         (3 × 25 Gbps links, top-40 apps skewed onto link 0, {epochs} epochs)\n\n{}\n\
+         expected shape: exposure relieves within ~a TTL with zero per-decision\n\
+         route updates; re-advertisement churns 2 updates per moved VIP and is\n\
+         gated on BGP convergence; 'none' stays overloaded.\n",
+        t.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exposure_beats_readvertisement_on_route_updates() {
+        let exposure = super::run_mode("exposure", 40);
+        let readv = super::run_mode("readvertise", 40);
+        assert!(exposure.route_updates < readv.route_updates);
+    }
+}

@@ -1,0 +1,122 @@
+//! E6 — knob-mix ablation for hotspot relief (§IV.D, §IV.E, §IV.F).
+//!
+//! "The number of application deployments and removals must be minimized
+//! as these operations are resource-intensive"; the architecture
+//! therefore prefers the cheap knobs (slices, weights) and escalates to
+//! deployment only when they run out. We replay the same flash-crowd
+//! hotspot under four knob mixes and compare recovery quality against
+//! how many expensive actions each mix needed.
+
+use dcsim::table::{fnum, Table};
+use dcsim::SimDuration;
+use megadc::config::KnobFlags;
+use megadc::{Platform, PlatformConfig};
+use workload::FlashCrowd;
+
+struct Outcome {
+    served_mean: f64,
+    served_final: f64,
+    instance_starts: u64,
+    slice_adjustments: u64,
+    deployments: u64,
+    reweights: u64,
+}
+
+fn run_mix(knobs: KnobFlags, epochs: u64) -> Outcome {
+    let mut cfg = PlatformConfig::pod_scale();
+    cfg.seed = 606;
+    cfg.diurnal_amplitude = 0.0;
+    cfg.total_demand_bps = 25e9;
+    cfg.knobs = knobs;
+    let mut p = Platform::build(cfg).expect("build");
+    p.run_epochs(10);
+    let victim = p.workload.apps_by_popularity()[0];
+    p.workload.add_flash_crowd(FlashCrowd {
+        app: victim,
+        start: p.now() + SimDuration::from_secs(30),
+        ramp: SimDuration::from_secs(120),
+        duration: SimDuration::from_secs(7200),
+        peak: 6.0,
+    });
+    let mut served_sum = 0.0;
+    let mut served_final = 0.0;
+    for _ in 0..epochs {
+        let snap = p.step();
+        served_final = snap.served_fraction();
+        served_sum += served_final;
+    }
+    Outcome {
+        served_mean: served_sum / epochs as f64,
+        served_final,
+        instance_starts: p.metrics.instance_starts.get(),
+        slice_adjustments: p.metrics.slice_adjustments.get(),
+        deployments: p.global.counters.deployments_completed,
+        reweights: p.global.counters.interpod_weight_adjustments,
+    }
+}
+
+/// Run the ablation.
+pub fn run(quick: bool) -> String {
+    let epochs = if quick { 90 } else { 240 };
+    let mixes: Vec<(&str, KnobFlags)> = vec![
+        ("all knobs", KnobFlags::ALL),
+        (
+            "fast only (slices+weights)",
+            KnobFlags { deployments: false, pod_instances: false, server_transfers: false, ..KnobFlags::ALL },
+        ),
+        (
+            "deploy only (no fast knobs)",
+            KnobFlags { pod_slices: false, interpod_weights: false, ..KnobFlags::ALL },
+        ),
+        ("static (no knobs)", KnobFlags::NONE),
+    ];
+    let mut t = Table::new([
+        "mix",
+        "served mean",
+        "served final",
+        "slice adjusts",
+        "instance starts",
+        "pod deployments",
+        "reweights",
+    ]);
+    for (label, knobs) in mixes {
+        let o = run_mix(knobs, epochs);
+        t.row([
+            label.to_string(),
+            fnum(o.served_mean, 3),
+            fnum(o.served_final, 3),
+            o.slice_adjustments.to_string(),
+            o.instance_starts.to_string(),
+            o.deployments.to_string(),
+            o.reweights.to_string(),
+        ]);
+    }
+    format!(
+        "E6 — knob-mix ablation under a 6× flash crowd ({epochs} epochs)\n\n{}\n\
+         expected shape: the knobs are complementary, exactly as §IV implies —\n\
+         slice growth alone is capped by the existing instance count, instance\n\
+         addition alone is capped by the minimum slice, and only the full mix\n\
+         ('all knobs') recovers well; 'static' never recovers. For small\n\
+         imbalances the fast knobs suffice (E7); a 6× crowd needs both.\n",
+        t.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use megadc::config::KnobFlags;
+
+    #[test]
+    fn knobs_beat_static() {
+        let all = super::run_mix(KnobFlags::ALL, 60);
+        let none = super::run_mix(KnobFlags::NONE, 60);
+        assert!(
+            all.served_mean > none.served_mean,
+            "all {} vs none {}",
+            all.served_mean,
+            none.served_mean
+        );
+        assert_eq!(none.instance_starts, 0);
+        assert_eq!(none.slice_adjustments, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! E12 — the serialized VIP/RIP manager under a request storm (§III.C).
+//!
+//! "In order to mediate and serialize all requests for VIP/RIP
+//! (re)configuration, we assign the responsibility to process any such
+//! requests to the global manager. The global manager processes the
+//! requests sequentially according to their priority."
+//!
+//! A storm of competing requests (pod provisioning, global knobs,
+//! cleanup) at mixed priorities is pushed through the queue; we verify
+//! zero invariant violations, measure throughput, and check the
+//! priority-ordering guarantee.
+
+use dcsim::table::{fnum, Table};
+use megadc::state::PlatformState;
+use megadc::viprip::{Priority, Request, Response, VipRipManager};
+use megadc::{AppId, PlatformConfig};
+use vmm::ServerId;
+
+struct Outcome {
+    requests: usize,
+    failed: u64,
+    secs: f64,
+    priority_inversions: usize,
+    limit_violations: usize,
+}
+
+fn storm(num_apps: usize, vms_per_app: usize) -> Outcome {
+    let mut cfg = PlatformConfig::pod_scale();
+    cfg.num_apps = num_apps;
+    cfg.num_servers = (num_apps * vms_per_app / 4).max(64);
+    cfg.initial_pods = 4;
+    cfg.pod_max_servers = cfg.num_servers;
+    cfg.pod_max_vms = cfg.num_servers * 8;
+    cfg.num_switches = ((num_apps * 3) / 2000).max(4);
+    let mut st = PlatformState::new(cfg);
+    let mut mgr = VipRipManager::new();
+
+    // Mixed-priority storm: VIP allocations (Normal), then per-VM RIP
+    // binds (Normal), interleaved with High-priority weight ops and
+    // Low-priority deletes.
+    for a in 0..num_apps {
+        let app = st.register_app(a);
+        for _ in 0..3 {
+            mgr.submit(Priority::Normal, Request::NewVip { app });
+        }
+    }
+    let t0 = std::time::Instant::now();
+    mgr.process_all(&mut st);
+    let mut vms = Vec::new();
+    for a in 0..num_apps as u32 {
+        for i in 0..vms_per_app {
+            let server = ServerId(((a as usize * vms_per_app + i) % st.config.num_servers) as u32);
+            if let Ok(vm) =
+                st.fleet
+                    .create_vm_running(server, a, st.config.vm_cpu_slice, st.config.vm_mem_mb)
+            {
+                vms.push((AppId(a), vm));
+            }
+        }
+    }
+    for (i, &(app, vm)) in vms.iter().enumerate() {
+        mgr.submit(Priority::Normal, Request::NewRip { app, vm, weight: 1.0 });
+        if i % 7 == 0 {
+            mgr.submit(Priority::High, Request::SetWeight { vm, weight: 2.0 });
+        }
+        if i % 13 == 0 {
+            mgr.submit(Priority::Low, Request::DeleteRip { vm });
+        }
+    }
+    let total = mgr.pending();
+    let out = mgr.process_all(&mut st);
+    let secs = t0.elapsed().as_secs_f64();
+
+    // Priority ordering: every High must appear before every Normal,
+    // every Normal before every Low, in the processing order.
+    let rank = |req: &Request| match req {
+        Request::SetWeight { .. } => 0u8,
+        Request::NewRip { .. } | Request::NewVip { .. } | Request::AdjustPodWeights { .. } => 1,
+        Request::DeleteRip { .. } => 2,
+    };
+    let mut inversions = 0;
+    let mut max_rank = 0u8;
+    for (req, _) in &out {
+        let r = rank(req);
+        if r < max_rank {
+            inversions += 1;
+        }
+        max_rank = max_rank.max(r);
+    }
+    // Note: SetWeight on a VM whose RIP is not yet bound fails — High
+    // priority means it runs *before* the Normal NewRip; that is the
+    // serialization semantics working as specified, and those failures
+    // are expected.
+    let failures = out.iter().filter(|(_, r)| matches!(r, Response::Failed(_))).count() as u64;
+    let violations = st
+        .switches
+        .iter()
+        .filter(|sw| sw.vip_count() > sw.limits().max_vips || sw.rip_count() > sw.limits().max_rips)
+        .count();
+    st.assert_invariants();
+    Outcome {
+        requests: total + num_apps * 3,
+        failed: failures,
+        secs,
+        priority_inversions: inversions,
+        limit_violations: violations,
+    }
+}
+
+/// Run the storm at several scales.
+pub fn run(quick: bool) -> String {
+    let sizes: &[(usize, usize)] =
+        if quick { &[(500, 4)] } else { &[(500, 4), (2_000, 4), (10_000, 4)] };
+    let mut t = Table::new([
+        "apps",
+        "requests",
+        "failed",
+        "throughput (req/ms)",
+        "priority inversions",
+        "limit violations",
+    ]);
+    for &(apps, vms) in sizes {
+        let o = storm(apps, vms);
+        t.row([
+            apps.to_string(),
+            o.requests.to_string(),
+            o.failed.to_string(),
+            fnum(o.requests as f64 / (o.secs * 1e3), 1),
+            o.priority_inversions.to_string(),
+            o.limit_violations.to_string(),
+        ]);
+    }
+    format!(
+        "E12 — serialized VIP/RIP queue under a mixed-priority storm (§III.C)\n\n{}\n\
+         invariants: priority inversions and switch-limit violations must be 0;\n\
+         'failed' counts High-priority weight ops that legitimately arrive\n\
+         before the Normal-priority bind they depend on (serialization\n\
+         semantics, not errors), plus Low deletes of already-deleted RIPs.\n",
+        t.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn storm_preserves_invariants() {
+        let o = super::storm(300, 4);
+        assert_eq!(o.priority_inversions, 0);
+        assert_eq!(o.limit_violations, 0);
+    }
+}

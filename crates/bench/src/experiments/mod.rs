@@ -1,0 +1,40 @@
+//! Experiment implementations (see DESIGN.md §4 for the index).
+
+pub mod e01_placement_scaling;
+pub mod e02_fabric_sizing;
+pub mod e03_link_balancing;
+pub mod e04_vip_transfer;
+pub mod e05_pod_decision_time;
+pub mod e06_knob_mixes;
+pub mod e07_agility_ladder;
+pub mod e08_vips_per_app;
+pub mod e09_lb_layer_load;
+pub mod e10_decision_space;
+pub mod e11_two_layer;
+pub mod e12_viprip_queue;
+pub mod e13_failures;
+pub mod e14_energy;
+pub mod e15_session_quiescence;
+
+/// Run one experiment by id (`"e1"` … `"e14"`), returning its rendered
+/// report. `quick` shrinks sweeps for CI.
+pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
+    Some(match id {
+        "e1" => e01_placement_scaling::run(quick),
+        "e2" => e02_fabric_sizing::run(quick),
+        "e3" => e03_link_balancing::run(quick),
+        "e4" => e04_vip_transfer::run(quick),
+        "e5" => e05_pod_decision_time::run(quick),
+        "e6" => e06_knob_mixes::run(quick),
+        "e7" => e07_agility_ladder::run(quick),
+        "e8" => e08_vips_per_app::run(quick),
+        "e9" => e09_lb_layer_load::run(quick),
+        "e10" => e10_decision_space::run(quick),
+        "e11" => e11_two_layer::run(quick),
+        "e12" => e12_viprip_queue::run(quick),
+        "e13" => e13_failures::run(quick),
+        "e14" => e14_energy::run(quick),
+        "e15" => e15_session_quiescence::run(quick),
+        _ => return None,
+    })
+}

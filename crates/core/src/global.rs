@@ -1,0 +1,793 @@
+//! The global (datacenter-scale) resource manager and its control knobs
+//! (§III.A, §IV).
+//!
+//! The global manager "monitors resource utilization of all the pods and
+//! balances the load among them", manages the datacenter-scale resources
+//! (LB switches, access links), and contains the VIP/RIP manager. Each
+//! control epoch it runs, in order:
+//!
+//! 1. **Selective VIP exposure** (§IV.A) — reweights DNS answers so apps
+//!    on overloaded access links shift demand to their VIPs on lightly
+//!    loaded links; periodically re-advertises *unused* VIPs from hot
+//!    links to cold ones (route updates decoupled from balancing).
+//! 2. **Dynamic VIP transfer** (§IV.B) — drains the hottest VIPs of
+//!    overloaded switches via DNS, then moves each VIP to an underloaded
+//!    switch once its residual demand passes the quiescence gate.
+//! 3. **Pod balancing** — the relief ladder for overloaded pods:
+//!    inter-pod **RIP weight adjustment** (§IV.F, fast), **dynamic
+//!    application deployment** into underloaded pods (§IV.D, cloning with
+//!    latency), and **server transfer** from donor pods (§IV.C).
+//! 4. **Elephant-pod avoidance** (§IV.C/D) — pods that exceed the size
+//!    caps shed servers (with their instances) to the smallest pod.
+//!
+//! Every actuation is counted in [`KnobCounters`], which is what the
+//! experiments report.
+
+use crate::demand::LoadSnapshot;
+use crate::ids::{AppId, PodId};
+use crate::state::PlatformState;
+use crate::viprip::{Priority, Request, VipRipManager};
+use dcsim::SimTime;
+use lbswitch::{SwitchId, VipAddr};
+use std::collections::BTreeMap;
+use vmm::{ServerId, VmId, VmState};
+
+/// Actuation counters for every knob (experiment output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KnobCounters {
+    /// DNS exposure reconfigurations issued for link balancing.
+    pub exposure_updates: u64,
+    /// Unused-VIP re-advertisements (route updates follow from these).
+    pub vip_readvertisements: u64,
+    /// VIP drains started for switch balancing.
+    pub vip_drains_started: u64,
+    /// VIP transfers completed (drain passed the quiescence gate).
+    pub vip_transfers_completed: u64,
+    /// VIP drains abandoned (timeout without quiescence).
+    pub vip_drains_aborted: u64,
+    /// Inter-pod RIP weight adjustments submitted.
+    pub interpod_weight_adjustments: u64,
+    /// Application instances deployed into other pods (clones started).
+    pub deployments_started: u64,
+    /// Deployed instances that came online (RIP bound).
+    pub deployments_completed: u64,
+    /// Servers transferred between pods (vacated-donor path).
+    pub server_transfers: u64,
+    /// Servers moved out of elephant pods (with their instances).
+    pub elephant_evictions: u64,
+}
+
+/// An in-flight VIP drain (§IV.B step 1).
+#[derive(Debug, Clone, Copy)]
+struct Drain {
+    target: SwitchId,
+    started: SimTime,
+}
+
+/// A clone in flight toward another pod (§IV.D).
+#[derive(Debug, Clone, Copy)]
+struct PendingDeployment {
+    vm: VmId,
+    app: AppId,
+}
+
+/// The global manager.
+#[derive(Debug, Default)]
+pub struct GlobalManager {
+    /// The serialized VIP/RIP configuration mediator (§III.C).
+    pub viprip: VipRipManager,
+    /// Knob actuation counters.
+    pub counters: KnobCounters,
+    draining: BTreeMap<VipAddr, Drain>,
+    pending_deployments: Vec<PendingDeployment>,
+    /// Caps per epoch, to keep the control loop stable.
+    max_transfers_per_epoch: usize,
+    max_deployments_per_epoch: usize,
+    max_exposure_apps_per_link: usize,
+}
+
+impl GlobalManager {
+    /// New manager with default per-epoch actuation caps.
+    pub fn new() -> Self {
+        GlobalManager {
+            max_transfers_per_epoch: 4,
+            max_deployments_per_epoch: 8,
+            max_exposure_apps_per_link: 10,
+            ..GlobalManager::default()
+        }
+    }
+
+    /// VIPs currently draining toward a transfer.
+    pub fn draining_vips(&self) -> Vec<VipAddr> {
+        self.draining.keys().copied().collect()
+    }
+
+    /// Whether any of `app`'s VIPs is mid-drain. Knobs that reconfigure
+    /// DNS exposure must not touch such apps — doing so would reset the
+    /// drain and the two policies would fight over the same weights (the
+    /// §V.B policy-conflict problem; the single-layer architecture
+    /// resolves it by giving the drain priority).
+    fn app_is_draining(&self, state: &PlatformState, app: AppId) -> bool {
+        self.draining
+            .keys()
+            .any(|&v| state.vip(v).map(|r| r.app == app).unwrap_or(false))
+    }
+
+    /// Run one global-manager epoch. Mutates DNS, routes, switches and the
+    /// fleet through `state`; pod-level provisioning is the pod managers'
+    /// job and happens separately.
+    pub fn epoch(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+        let knobs = state.config.knobs;
+        if knobs.capacity_exposure {
+            self.refresh_capacity_exposure(state, snap, now);
+        }
+        if knobs.link_exposure {
+            self.balance_access_links(state, snap, now);
+        }
+        if knobs.vip_transfer {
+            self.balance_switches(state, snap, now);
+        }
+        self.complete_deployments(state);
+        self.balance_pods(state, snap, now);
+        if knobs.elephant_relief {
+            self.avoid_elephants(state);
+        }
+        self.viprip.process_all(state);
+    }
+
+    /// Capacity-proportional exposure (§IV.B's second use of selective VIP
+    /// exposure: "the global manager can instruct DNS to expose only the
+    /// VIPs of the applications configured at lightly-loaded LB
+    /// switches"). For apps losing a noticeable demand fraction, reweight
+    /// DNS answers by each covered VIP's serving capacity (its RIP count)
+    /// discounted by its switch's load.
+    fn refresh_capacity_exposure(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+        const UNSERVED_TRIGGER: f64 = 0.05;
+        const MAX_APPS_PER_EPOCH: usize = 50;
+        let mut worst: Vec<(AppId, f64)> = state
+            .apps()
+            .iter()
+            .filter_map(|a| {
+                let demand = snap.app_demand_bps[a.id.0 as usize];
+                if demand <= 0.0 {
+                    return None;
+                }
+                let frac = snap.unserved_bps_by_app[a.id.0 as usize] / demand;
+                (frac > UNSERVED_TRIGGER).then_some((a.id, frac))
+            })
+            .collect();
+        worst.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        for (app, _) in worst.into_iter().take(MAX_APPS_PER_EPOCH) {
+            if self.app_is_draining(state, app) {
+                continue;
+            }
+            let vips = state.app(app).expect("listed").vips.clone();
+            let weights: Vec<(VipAddr, f64)> = vips
+                .iter()
+                .map(|&v| (v, self.capacity_weight(state, v)))
+                .collect();
+            if weights.iter().filter(|&&(_, w)| w > 0.0).count() < 2 {
+                continue; // nothing to rebalance between
+            }
+            state.dns.set_exposure(app.dns_key(), weights, now);
+            self.counters.exposure_updates += 1;
+        }
+    }
+
+    /// Exposure weight of one VIP: its RIP count (serving capacity)
+    /// discounted by how loaded its switch is.
+    fn capacity_weight(&self, state: &PlatformState, vip: VipAddr) -> f64 {
+        let rips = state.vip_rip_count(vip);
+        if rips == 0 {
+            return 0.0;
+        }
+        let sw = &state.switches[state.vip(vip).expect("listed").switch.0 as usize];
+        rips as f64 * (1.5 - sw.utilization()).clamp(0.05, 1.5)
+    }
+
+    // ---- knob 1: selective VIP exposure (§IV.A) -------------------------
+
+    fn balance_access_links(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+        let utils = snap.link_utilizations(state);
+        let threshold = state.config.link_overload_threshold;
+        let Some((hot_link, &hot_util)) = utils
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        else {
+            return;
+        };
+        if hot_util <= threshold {
+            return;
+        }
+        // Per-app demand carried by the hot link.
+        let mut app_on_hot: BTreeMap<AppId, f64> = BTreeMap::new();
+        let mut link_of_vip: BTreeMap<VipAddr, usize> = BTreeMap::new();
+        for (vip, rec) in state.vips() {
+            let Some(router) = rec.router else { continue };
+            // Symmetric access network: link index == router index.
+            let Some(link) = state.access.links_at_router(router).next().map(|l| l.id.index())
+            else {
+                continue;
+            };
+            link_of_vip.insert(vip, link);
+            if link == hot_link {
+                if let Some(&d) = snap.vip_demand_bps.get(&vip) {
+                    *app_on_hot.entry(rec.app).or_insert(0.0) += d;
+                }
+            }
+        }
+        let mut top: Vec<(AppId, f64)> = app_on_hot.into_iter().collect();
+        top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        for (app, _) in top.into_iter().take(self.max_exposure_apps_per_link) {
+            if self.app_is_draining(state, app) {
+                continue; // the switch drain owns this app's exposure
+            }
+            let vips = state.app(app).expect("listed").vips.clone();
+            if vips.len() < 2 {
+                continue; // nothing to shift toward
+            }
+            // Weight each covered VIP by its link's headroom; VIPs on the
+            // hot link keep a small floor so the app never fully abandons
+            // a link; uncovered (RIP-less) spares get nothing.
+            let weights: Vec<(VipAddr, f64)> = vips
+                .iter()
+                .map(|&v| {
+                    if state.vip_rip_count(v) == 0 {
+                        return (v, 0.0);
+                    }
+                    let w = match link_of_vip.get(&v) {
+                        Some(&l) => (1.0 - utils[l]).max(0.02),
+                        None => 0.0, // not advertised anywhere yet
+                    };
+                    (v, w)
+                })
+                .collect();
+            // Skip if the app has no covered, advertised VIP off the hot
+            // link.
+            let has_alternative = vips.iter().any(|&v| {
+                state.vip_rip_count(v) > 0
+                    && link_of_vip.get(&v).map(|&l| l != hot_link).unwrap_or(false)
+            });
+            if !has_alternative {
+                // §IV.A second mechanism: re-advertise an *unused* VIP of
+                // this app at the coldest link's router.
+                let cold = utils
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .expect("checked non-empty");
+                let unused = vips.iter().copied().find(|&v| {
+                    snap.vip_demand_bps.get(&v).copied().unwrap_or(0.0)
+                        < 0.01 * snap.app_demand_bps[app.0 as usize].max(1.0)
+                });
+                if let Some(v) = unused {
+                    let router = state.access.links()[cold].access_router;
+                    state.advertise_vip(v, router, now).expect("VIP exists");
+                    self.counters.vip_readvertisements += 1;
+                }
+                continue;
+            }
+            state.dns.set_exposure(app.dns_key(), weights, now);
+            self.counters.exposure_updates += 1;
+        }
+    }
+
+    // ---- knob 2: dynamic VIP transfer (§IV.B) -----------------------------
+
+    fn balance_switches(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+        let threshold = state.config.switch_overload_threshold;
+        let utils = snap.switch_utilizations(state);
+
+        // Progress existing drains first.
+        let draining: Vec<(VipAddr, Drain)> = self.draining.iter().map(|(&v, &d)| (v, d)).collect();
+        for (vip, drain) in draining {
+            let rec = *state.vip(vip).expect("draining VIP exists");
+            let app = rec.app;
+            let share = state.dns.fraction_on_vip(app.dns_key(), vip, now);
+            if share <= state.config.quiescence_share {
+                // Quiescent: execute the internal reassignment.
+                match state.transfer_vip(vip, drain.target) {
+                    Ok(()) => {
+                        self.counters.vip_transfers_completed += 1;
+                        self.restore_exposure(state, app, now);
+                        self.draining.remove(&vip);
+                    }
+                    Err(_) => {
+                        // Destination filled up meanwhile: abort.
+                        self.counters.vip_drains_aborted += 1;
+                        self.restore_exposure(state, app, now);
+                        self.draining.remove(&vip);
+                    }
+                }
+            } else if now.since(drain.started) > state.config.dns.stale_half_life * 4 {
+                // TTL violators are holding on too long: give up.
+                self.counters.vip_drains_aborted += 1;
+                self.restore_exposure(state, app, now);
+                self.draining.remove(&vip);
+            }
+        }
+
+        // Start new drains on overloaded switches. Concurrent drains are
+        // capped: each one parks demand on the app's other VIPs for
+        // minutes (TTL + stale residue), so draining aggressively would
+        // destabilize the very switches we are trying to relieve.
+        let mut started = 0;
+        if self.draining.len() >= self.max_transfers_per_epoch {
+            return;
+        }
+        let mut hot: Vec<(usize, f64)> = utils
+            .iter()
+            .enumerate()
+            .filter(|&(_, &u)| u > threshold)
+            .map(|(i, &u)| (i, u))
+            .collect();
+        hot.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        for (sw_idx, _) in hot {
+            if started >= self.max_transfers_per_epoch
+                || self.draining.len() >= self.max_transfers_per_epoch
+            {
+                break;
+            }
+            // Hottest transferable VIP on this switch.
+            let mut vips: Vec<(VipAddr, f64)> = state.switches[sw_idx]
+                .vips()
+                .map(|(v, cfg)| (v, cfg.offered_bps))
+                .filter(|&(v, _)| !self.draining.contains_key(&v))
+                .collect();
+            vips.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            for (vip, offered) in vips {
+                if offered <= 0.0 {
+                    break;
+                }
+                let app = state.vip(vip).expect("listed").app;
+                // One drain per app at a time, and the app must have
+                // another VIP to absorb the demand.
+                if self.app_is_draining(state, app)
+                    || state.app(app).expect("listed").vips.len() < 2
+                {
+                    continue;
+                }
+                let Some(target) = Self::pick_transfer_target(state, sw_idx, vip) else {
+                    continue;
+                };
+                // The demand must have a covered VIP to land on.
+                let others_covered = state
+                    .app(app)
+                    .expect("listed")
+                    .vips
+                    .iter()
+                    .any(|&v| v != vip && state.vip_rip_count(v) > 0);
+                if !others_covered {
+                    continue;
+                }
+                // Drain step: stop exposing this VIP.
+                let weights: Vec<(VipAddr, f64)> = state
+                    .app(app)
+                    .expect("listed")
+                    .vips
+                    .iter()
+                    .map(|&v| {
+                        let w = if v == vip || state.vip_rip_count(v) == 0 { 0.0 } else { 1.0 };
+                        (v, w)
+                    })
+                    .collect();
+                state.dns.set_exposure(app.dns_key(), weights, now);
+                self.draining.insert(vip, Drain { target, started: now });
+                self.counters.vip_drains_started += 1;
+                started += 1;
+                break;
+            }
+        }
+    }
+
+    fn pick_transfer_target(state: &PlatformState, from: usize, vip: VipAddr) -> Option<SwitchId> {
+        let rips_needed = state.switches[from].vip(vip).ok()?.rips.len();
+        state
+            .switches
+            .iter()
+            .enumerate()
+            .filter(|&(i, sw)| {
+                i != from
+                    && state.switch_healthy(sw.id())
+                    && sw.vip_slots_free() > 0
+                    && sw.rip_slots_free() >= rips_needed
+            })
+            .min_by(|(_, a), (_, b)| {
+                a.utilization().partial_cmp(&b.utilization()).expect("finite")
+            })
+            .map(|(_, sw)| sw.id())
+    }
+
+    fn restore_exposure(&mut self, state: &mut PlatformState, app: AppId, now: SimTime) {
+        let weights: Vec<(VipAddr, f64)> = state
+            .app(app)
+            .expect("listed")
+            .vips
+            .iter()
+            .map(|&v| (v, if state.vip_rip_count(v) > 0 { 1.0 } else { 0.0 }))
+            .collect();
+        state.dns.set_exposure(app.dns_key(), weights, now);
+    }
+
+    // ---- knob 3: pod balancing (§IV.C/D/F) ---------------------------------
+
+    fn balance_pods(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+        let utils = snap.pod_utilizations(state);
+        let cfg = state.config;
+        let hot_pods: Vec<usize> = utils
+            .iter()
+            .enumerate()
+            .filter(|&(_, &u)| u > cfg.pod_overload_threshold)
+            .map(|(i, _)| i)
+            .collect();
+        if hot_pods.is_empty() {
+            return;
+        }
+        let cold_pod = utils
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("pods exist");
+        if utils[cold_pod] > cfg.pod_underload_threshold {
+            return; // nowhere to shed load to
+        }
+
+        let knobs = cfg.knobs;
+        for hot in hot_pods {
+            let hot_pod = PodId(hot as u32);
+            // Rung 1: inter-pod RIP weight adjustment for VIPs covering
+            // both a hot and a colder pod (§IV.F — agile, seconds).
+            if knobs.interpod_weights {
+                self.shift_weights_between_pods(state, snap, hot_pod, PodId(cold_pod as u32));
+            }
+            // Rung 2: deploy instances of the pod's hottest apps into the
+            // cold pod (§IV.D).
+            if knobs.deployments {
+                self.deploy_into_cold_pod(state, snap, hot_pod, PodId(cold_pod as u32), now);
+            }
+            // Rung 3: transfer vacant servers from the cold pod (§IV.C).
+            if knobs.server_transfers {
+                self.transfer_vacant_servers(state, PodId(cold_pod as u32), hot_pod);
+            }
+        }
+    }
+
+    fn shift_weights_between_pods(
+        &mut self,
+        state: &mut PlatformState,
+        snap: &LoadSnapshot,
+        hot: PodId,
+        cold: PodId,
+    ) {
+        // VIPs with demand covering both pods.
+        let vips: Vec<VipAddr> = snap.vip_demand_bps.keys().copied().collect();
+        for vip in vips {
+            let pods = state.pods_covered_by_vip(vip);
+            if !(pods.contains(&hot) && pods.contains(&cold)) {
+                continue;
+            }
+            let rec = *state.vip(vip).expect("listed");
+            let cfg = state.switches[rec.switch.0 as usize].vip(vip).expect("configured").clone();
+            for entry in cfg.rips {
+                let Ok(rip_rec) = state.rip(entry.rip) else { continue };
+                let vm = rip_rec.vm;
+                let Ok(srv) = state.fleet.locate(vm) else { continue };
+                let pod = state.pod_of(srv);
+                let factor = if pod == hot {
+                    0.7
+                } else if pod == cold {
+                    1.3
+                } else {
+                    continue;
+                };
+                self.viprip.submit(
+                    Priority::High,
+                    Request::SetWeight { vm, weight: (entry.weight * factor).max(0.01) },
+                );
+                self.counters.interpod_weight_adjustments += 1;
+            }
+        }
+    }
+
+    fn deploy_into_cold_pod(
+        &mut self,
+        state: &mut PlatformState,
+        snap: &LoadSnapshot,
+        hot: PodId,
+        cold: PodId,
+        now: SimTime,
+    ) {
+        // Hottest apps by offered CPU on the hot pod's VMs.
+        let mut app_load: BTreeMap<AppId, f64> = BTreeMap::new();
+        let mut app_src_vm: BTreeMap<AppId, VmId> = BTreeMap::new();
+        for &srv in state.pod_servers(hot) {
+            let server = state.fleet.server(srv).expect("valid");
+            for vm in server.vms() {
+                let offered = snap.vm_cpu_offered.get(&vm.id).copied().unwrap_or(0.0);
+                *app_load.entry(AppId(vm.app)).or_insert(0.0) += offered;
+                if matches!(vm.state, VmState::Running) {
+                    app_src_vm.entry(AppId(vm.app)).or_insert(vm.id);
+                }
+            }
+        }
+        let mut hottest: Vec<(AppId, f64)> = app_load.into_iter().collect();
+        hottest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+        let in_flight = self.pending_deployments.len();
+        let budget = self.max_deployments_per_epoch.saturating_sub(in_flight);
+        for (app, load) in hottest.into_iter().take(budget) {
+            if load <= 0.0 {
+                break;
+            }
+            let Some(&src) = app_src_vm.get(&app) else { continue };
+            // First cold-pod server with room.
+            let spec_cpu = state.config.vm_cpu_slice;
+            let mem = state.config.vm_mem_mb;
+            let Some(target) = state
+                .pod_servers(cold)
+                .iter()
+                .copied()
+                .find(|&s| {
+                    state.server_healthy(s)
+                        && state.fleet.server(s).expect("valid").fits(spec_cpu, mem).is_ok()
+                })
+            else {
+                break; // cold pod full — fall through to server transfer
+            };
+            if let Ok(vm) = state.fleet.clone_vm(src, target, now) {
+                self.pending_deployments.push(PendingDeployment { vm, app });
+                self.counters.deployments_started += 1;
+            }
+        }
+    }
+
+    /// Bind RIPs for clones that finished booting (the deployment becomes
+    /// live only once its RIP is configured — §IV.D's switch step).
+    fn complete_deployments(&mut self, state: &mut PlatformState) {
+        let mut still_pending = Vec::new();
+        for pd in self.pending_deployments.drain(..) {
+            match state.fleet.vm(pd.vm) {
+                Ok(vm) if matches!(vm.state, VmState::Running) => {
+                    self.viprip.submit(
+                        Priority::Normal,
+                        Request::NewRip { app: pd.app, vm: pd.vm, weight: 1.0 },
+                    );
+                    self.counters.deployments_completed += 1;
+                }
+                Ok(_) => still_pending.push(pd),
+                Err(_) => {} // destroyed meanwhile
+            }
+        }
+        self.pending_deployments = still_pending;
+    }
+
+    fn transfer_vacant_servers(&mut self, state: &mut PlatformState, donor: PodId, recipient: PodId) {
+        if donor == recipient {
+            return;
+        }
+        // Keep the donor above one server.
+        let donor_servers = state.pod_servers(donor).to_vec();
+        if donor_servers.len() <= 1 {
+            return;
+        }
+        let vacant: Vec<ServerId> = donor_servers
+            .iter()
+            .copied()
+            .filter(|&s| state.fleet.server(s).expect("valid").is_vacant())
+            .take(2) // bounded per epoch
+            .collect();
+        for s in vacant {
+            if state.pod_servers(donor).len() <= 1 {
+                break;
+            }
+            state.move_server_to_pod(s, recipient);
+            self.counters.server_transfers += 1;
+        }
+    }
+
+    // ---- knob 4: elephant-pod avoidance (§IV.C/D) ---------------------------
+
+    fn avoid_elephants(&mut self, state: &mut PlatformState) {
+        let cfg = state.config;
+        let original_pods = state.num_pods();
+        for p in 0..original_pods {
+            let pod = PodId(p as u32);
+            let over_servers = state.pod_servers(pod).len() as i64 - cfg.pod_max_servers as i64;
+            let over_vms = state.pod_vm_count(pod) as i64 - cfg.pod_max_vms as i64;
+            if over_servers <= 0 && over_vms <= 0 {
+                continue;
+            }
+            let mut to_move = over_servers.max(0) as usize;
+            if over_vms > 0 {
+                // Move enough servers to shed the VM excess, estimating by
+                // average VMs per server.
+                let avg = (state.pod_vm_count(pod) as f64
+                    / state.pod_servers(pod).len().max(1) as f64)
+                    .max(1.0);
+                to_move = to_move.max((over_vms as f64 / avg).ceil() as usize);
+            }
+            let movers: Vec<ServerId> =
+                state.pod_servers(pod).iter().copied().take(to_move).collect();
+            for s in movers {
+                if state.pod_servers(pod).len() <= 1 {
+                    break;
+                }
+                // Receiving pod: the smallest pod that still has headroom
+                // for one more server; open a fresh pod if none does
+                // (pods are logical, so this is pure bookkeeping).
+                let recipient = (0..state.num_pods())
+                    .filter(|&q| q != p)
+                    .map(|q| PodId(q as u32))
+                    .filter(|&q| state.pod_servers(q).len() < cfg.pod_max_servers)
+                    .min_by_key(|&q| state.pod_servers(q).len())
+                    .unwrap_or_else(|| state.create_pod());
+                state.move_server_to_pod(s, recipient);
+                self.counters.elephant_evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformConfig;
+    use crate::demand::propagate;
+    use dcnet::access::AccessRouterId;
+    use dcsim::SimDuration;
+
+    /// Two apps: app0 with VIPs on links 0 and 1 (instances in pod 0);
+    /// app1 with one VIP on link 0.
+    fn build() -> PlatformState {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.num_apps = 2;
+        let mut st = PlatformState::new(cfg);
+        let a0 = st.register_app(0);
+        let a1 = st.register_app(1);
+        let v00 = st.allocate_vip(a0, SwitchId(0)).unwrap();
+        let v01 = st.allocate_vip(a0, SwitchId(1)).unwrap();
+        let v10 = st.allocate_vip(a1, SwitchId(0)).unwrap();
+        st.advertise_vip(v00, AccessRouterId(0), SimTime::ZERO).unwrap();
+        st.advertise_vip(v01, AccessRouterId(1), SimTime::ZERO).unwrap();
+        st.advertise_vip(v10, AccessRouterId(0), SimTime::ZERO).unwrap();
+        st.add_instance_running(a0, ServerId(0), v00, 1.0).unwrap();
+        st.add_instance_running(a0, ServerId(2), v01, 1.0).unwrap();
+        st.add_instance_running(a1, ServerId(4), v10, 1.0).unwrap();
+        st.dns.set_exposure(0, vec![(v00, 1.0), (v01, 1.0)], SimTime::ZERO);
+        st.dns.set_exposure(1, vec![(v10, 1.0)], SimTime::ZERO);
+        st
+    }
+
+    fn t0(st: &PlatformState) -> SimTime {
+        SimTime::ZERO + st.routes.convergence()
+    }
+
+    #[test]
+    fn link_overload_triggers_exposure_update() {
+        let mut st = build();
+        let now = t0(&st);
+        // Link capacity 4 Gbps; push 7 Gbps through app0 (3.5 on link 0)
+        // plus 1.0 through app1 (link 0) → link 0 at 4.5/4 > 0.8.
+        let snap = propagate(&mut st, &[7e9, 1e9], now);
+        assert!(snap.link_utilizations(&st)[0] > 0.8);
+        let mut gm = GlobalManager::new();
+        gm.epoch(&mut st, &snap, now);
+        assert!(gm.counters.exposure_updates >= 1, "counters {:?}", gm.counters);
+        // After the TTL, link 0 load drops.
+        let later = now + st.config.dns.ttl * 2;
+        let snap2 = propagate(&mut st, &[7e9, 1e9], later);
+        assert!(
+            snap2.link_load_bps[0] < snap.link_load_bps[0],
+            "no relief: {} -> {}",
+            snap.link_load_bps[0],
+            snap2.link_load_bps[0]
+        );
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn switch_overload_starts_drain_and_completes_transfer() {
+        let mut st = build();
+        let now = t0(&st);
+        // Switch 0 hosts v00 (app0, 0.5 share → 2.5G) and v10 (app1, 1G):
+        // 3.5/4 = 0.875 > 0.8 → drain the hottest VIP (v00; app0 has an
+        // alternative VIP).
+        let snap = propagate(&mut st, &[5e9, 1e9], now);
+        assert!(snap.switch_utilizations(&st)[0] > 0.8);
+        let mut gm = GlobalManager::new();
+        gm.epoch(&mut st, &snap, now);
+        assert_eq!(gm.counters.vip_drains_started, 1);
+        assert_eq!(gm.draining_vips().len(), 1);
+        let vip = gm.draining_vips()[0];
+        // Walk time forward past the stale residue until quiescent.
+        let mut t = now;
+        for _ in 0..2000 {
+            t = t + st.config.epoch;
+            let snap = propagate(&mut st, &[5e9, 1e9], t);
+            gm.epoch(&mut st, &snap, t);
+            if gm.counters.vip_transfers_completed > 0 {
+                break;
+            }
+        }
+        assert_eq!(gm.counters.vip_transfers_completed, 1, "transfer never completed");
+        // The VIP moved off switch 0.
+        assert_ne!(st.vip(vip).unwrap().switch, SwitchId(0));
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn elephant_pod_sheds_servers() {
+        let mut st = build();
+        let mut cfg = st.config;
+        cfg.pod_max_servers = 4; // pods have 8 servers each
+        st.config = cfg;
+        let mut gm = GlobalManager::new();
+        gm.avoid_elephants(&mut st);
+        assert!(gm.counters.elephant_evictions > 0);
+        // Every pod ends within the cap; new pods were opened as needed.
+        for p in 0..st.num_pods() {
+            assert!(
+                st.pod_servers(PodId(p as u32)).len() <= 4,
+                "pod {p} still an elephant"
+            );
+        }
+        assert!(st.num_pods() > 2, "expected new pods to absorb the overflow");
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn vacant_server_transfer_respects_floor() {
+        let mut st = build();
+        let mut gm = GlobalManager::new();
+        let before0 = st.pod_servers(PodId(0)).len();
+        let before1 = st.pod_servers(PodId(1)).len();
+        gm.transfer_vacant_servers(&mut st, PodId(1), PodId(0));
+        // Bounded to 2 per epoch.
+        assert!(gm.counters.server_transfers <= 2);
+        assert_eq!(
+            st.pod_servers(PodId(0)).len() + st.pod_servers(PodId(1)).len(),
+            before0 + before1
+        );
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn pod_overload_deploys_into_cold_pod() {
+        let mut st = build();
+        let now = t0(&st);
+        // Saturate pod 0's app0 instance: huge demand, all VMs capped.
+        let snap = propagate(&mut st, &[6e9, 0.0], now);
+        let utils = snap.pod_utilizations(&st);
+        // Force the pod-overload path regardless of measured utils by
+        // lowering the threshold.
+        let mut cfg = st.config;
+        cfg.pod_overload_threshold = utils[0].min(utils[1]).max(0.0) + 1e-9;
+        // Ensure there is a cold pod below the underload threshold.
+        cfg.pod_underload_threshold = 1.0 - 1e-9;
+        // (thresholds must still be ordered)
+        if cfg.pod_underload_threshold <= cfg.pod_overload_threshold {
+            cfg.pod_overload_threshold = cfg.pod_underload_threshold - 1e-3;
+        }
+        st.config = cfg;
+        let mut gm = GlobalManager::new();
+        gm.epoch(&mut st, &snap, now);
+        assert!(
+            gm.counters.deployments_started > 0 || gm.counters.interpod_weight_adjustments > 0,
+            "no pod relief action: {:?}",
+            gm.counters
+        );
+        // Clones complete after the clone latency; their RIPs get bound.
+        let t1 = now + SimDuration::from_secs(5);
+        st.fleet.complete_transitions(t1);
+        let snap2 = propagate(&mut st, &[6e9, 0.0], t1);
+        gm.epoch(&mut st, &snap2, t1);
+        if gm.counters.deployments_started > 0 {
+            assert!(gm.counters.deployments_completed > 0, "{:?}", gm.counters);
+            assert!(st.num_rips() > 3, "new RIP bound for the deployment");
+        }
+        st.assert_invariants();
+    }
+}

@@ -1,0 +1,482 @@
+//! The assembled platform: builder + control-epoch loop.
+//!
+//! [`Platform::build`] constructs the Figure-1 system from a
+//! [`PlatformConfig`]: the fleet is dealt into logical pods, every
+//! application gets its VIPs (popular apps get more, §IV.A) allocated
+//! through the VIP/RIP manager's policies, VIPs are advertised across the
+//! access routers, initial instances are placed round-robin across pods,
+//! and DNS exposes every VIP with equal weight.
+//!
+//! [`Platform::step`] then advances one control epoch:
+//!
+//! 1. complete in-flight VM transitions (boots, clones, migrations);
+//! 2. propagate the workload's demand down the stack ([`crate::demand`]);
+//! 3. run every pod manager **in parallel** (rayon) — the paper's
+//!    hierarchical-scalability argument made literal — and apply their
+//!    plans (slice adjustments, instance starts/stops, weight requests);
+//! 4. run the global manager's knobs (§IV) and the serialized VIP/RIP
+//!    queue (§III.C);
+//! 5. bind RIPs for newly running instances and record metrics.
+
+use crate::config::PlatformConfig;
+use crate::demand::{propagate, LoadSnapshot};
+use crate::global::GlobalManager;
+use crate::ids::{AppId, PodId};
+use crate::pod::{PodManager, PodPlan};
+use crate::state::PlatformState;
+use crate::viprip::{Priority, Request, Response};
+use dcsim::metrics::{Counter, Samples, TimeSeries};
+use dcsim::SimTime;
+use rayon::prelude::*;
+use vmm::{VmId, VmState};
+use workload::Workload;
+
+/// Time-series metrics recorded every epoch.
+#[derive(Debug, Default)]
+pub struct PlatformMetrics {
+    /// Max access-link utilization.
+    pub link_util_max: TimeSeries,
+    /// Jain's fairness of link utilizations.
+    pub link_fairness: TimeSeries,
+    /// Max LB-switch utilization.
+    pub switch_util_max: TimeSeries,
+    /// Max pod CPU utilization.
+    pub pod_util_max: TimeSeries,
+    /// Fraction of offered demand served.
+    pub served_fraction: TimeSeries,
+    /// Pod-manager decision times (seconds, wall clock).
+    pub decision_times: Samples,
+    /// Total placement changes decided by pod managers.
+    pub placement_changes: Counter,
+    /// Slice adjustments applied.
+    pub slice_adjustments: Counter,
+    /// Pod-initiated instance starts.
+    pub instance_starts: Counter,
+    /// Pod-initiated instance stops.
+    pub instance_stops: Counter,
+}
+
+/// Summary of a multi-epoch run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Served fraction in the final epoch.
+    pub final_served_fraction: f64,
+    /// Mean served fraction across the run.
+    pub mean_served_fraction: f64,
+    /// Final max link utilization.
+    pub final_link_util_max: f64,
+    /// Final max switch utilization.
+    pub final_switch_util_max: f64,
+    /// Final max pod utilization.
+    pub final_pod_util_max: f64,
+}
+
+/// The assembled mega-data-center platform.
+#[derive(Debug)]
+pub struct Platform {
+    /// All component state.
+    pub state: PlatformState,
+    /// The demand generator.
+    pub workload: Workload,
+    /// The global manager (owns the VIP/RIP queue and knob counters).
+    pub global: GlobalManager,
+    /// Recorded metrics.
+    pub metrics: PlatformMetrics,
+    pod_managers: Vec<PodManager>,
+    now: SimTime,
+    epochs: u64,
+    /// The most recent load snapshot (None before the first step).
+    last_snapshot: Option<LoadSnapshot>,
+}
+
+impl Platform {
+    /// Build a platform from a config. Returns `Err` with a description if
+    /// the config is invalid or initial placement cannot fit.
+    pub fn build(config: PlatformConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mut state = PlatformState::new(config);
+        let workload = Workload::generate(config.workload_config());
+        let mut global = GlobalManager::new();
+        let t0 = SimTime::ZERO;
+
+        // Popularity ranks: position of each app in the sorted-by-demand
+        // order.
+        let by_pop = workload.apps_by_popularity();
+        let mut rank_of = vec![0usize; config.num_apps];
+        for (rank, &app) in by_pop.iter().enumerate() {
+            rank_of[app as usize] = rank;
+        }
+
+        // Register apps and allocate their VIPs through the §III.C policy.
+        for a in 0..config.num_apps {
+            let app = state.register_app(rank_of[a]);
+            debug_assert_eq!(app.0 as usize, a);
+            for _ in 0..config.vips_for_rank(rank_of[a]) {
+                global.viprip.submit(Priority::Normal, Request::NewVip { app });
+            }
+        }
+        for (req, resp) in global.viprip.process_all(&mut state) {
+            match (req, resp) {
+                (Request::NewVip { .. }, Response::VipAllocated(..)) => {}
+                (req, resp) => return Err(format!("VIP allocation failed: {req:?} -> {resp:?}")),
+            }
+        }
+
+        // Advertise VIPs: spread each app's VIPs across distinct access
+        // routers (selective exposure: one router per VIP), balancing
+        // total advertisements per router.
+        let n_routers = state.access.num_access_routers();
+        let mut adverts_per_router = vec![0usize; n_routers];
+        let app_vips: Vec<(AppId, Vec<lbswitch::VipAddr>)> = state
+            .apps()
+            .iter()
+            .map(|a| (a.id, a.vips.clone()))
+            .collect();
+        for (_app, vips) in &app_vips {
+            let mut used = Vec::new();
+            for &vip in vips {
+                // Least-loaded router not already used by this app (when
+                // possible).
+                let router = (0..n_routers)
+                    .filter(|r| !used.contains(r) || used.len() >= n_routers)
+                    .min_by_key(|&r| adverts_per_router[r])
+                    .expect("at least one router");
+                adverts_per_router[router] += 1;
+                used.push(router);
+                state
+                    .advertise_vip(vip, dcnet::access::AccessRouterId(router as u32), t0)
+                    .expect("fresh VIP");
+            }
+        }
+
+        // Initial instances: deal apps' instances round-robin across pods,
+        // first-fit server within the pod; bind RIPs via the §III.C
+        // policy.
+        let num_pods = state.num_pods();
+        let mut vm_queue: Vec<(AppId, VmId)> = Vec::new();
+        for (i, (app, _)) in app_vips.iter().enumerate() {
+            for inst in 0..config.initial_instances_per_app {
+                let pod = PodId(((i + inst) % num_pods) as u32);
+                let server = state
+                    .pod_servers(pod)
+                    .iter()
+                    .copied()
+                    .find(|&s| {
+                        state
+                            .fleet
+                            .server(s)
+                            .expect("valid")
+                            .fits(config.vm_cpu_slice, config.vm_mem_mb)
+                            .is_ok()
+                    })
+                    .ok_or_else(|| {
+                        format!("no capacity in {pod} for initial instance of {app}")
+                    })?;
+                let vm = state
+                    .fleet
+                    .create_vm_running(server, app.0, config.vm_cpu_slice, config.vm_mem_mb)
+                    .map_err(|e| format!("initial placement failed: {e}"))?;
+                vm_queue.push((*app, vm));
+            }
+        }
+        for (app, vm) in vm_queue {
+            global.viprip.submit(Priority::Normal, Request::NewRip { app, vm, weight: 1.0 });
+        }
+        for (req, resp) in global.viprip.process_all(&mut state) {
+            if let Response::Failed(msg) = resp {
+                return Err(format!("initial RIP binding failed: {req:?}: {msg}"));
+            }
+        }
+
+        // Expose each app's *covered* VIPs equally. VIPs with no RIPs yet
+        // are unused spares (§IV.A) and stay out of DNS until an instance
+        // backs them.
+        for (app, vips) in &app_vips {
+            let weights: Vec<(lbswitch::VipAddr, f64)> = vips
+                .iter()
+                .map(|&v| (v, if state.vip_rip_count(v) > 0 { 1.0 } else { 0.0 }))
+                .collect();
+            state.dns.set_exposure(app.dns_key(), weights, t0);
+        }
+
+        let pod_managers = (0..state.num_pods()).map(|p| PodManager::new(PodId(p as u32))).collect();
+        // Start the clock after route convergence so epoch 0 sees live
+        // routes (the build happened "yesterday").
+        let now = t0 + config.route_convergence;
+        Ok(Platform {
+            state,
+            workload,
+            global,
+            metrics: PlatformMetrics::default(),
+            pod_managers,
+            now,
+            epochs: 0,
+            last_snapshot: None,
+        })
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Epochs executed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The most recent load snapshot.
+    pub fn last_snapshot(&self) -> Option<&LoadSnapshot> {
+        self.last_snapshot.as_ref()
+    }
+
+    /// Advance one control epoch; returns the epoch's load snapshot.
+    pub fn step(&mut self) -> LoadSnapshot {
+        self.now += self.state.config.epoch;
+        let now = self.now;
+        self.state.fleet.complete_transitions(now);
+
+        // Demand for this epoch.
+        let demands: Vec<f64> = (0..self.state.config.num_apps as u32)
+            .map(|a| self.workload.demand_bps(a, now))
+            .collect();
+        let snap = propagate(&mut self.state, &demands, now);
+
+        // Pod managers decide in parallel — one Tang-controller run per
+        // pod, which is exactly the scalability mechanism of §III.A.
+        if self.pod_managers.len() != self.state.num_pods() {
+            // Pods may have been created (elephant relief): grow managers.
+            for p in self.pod_managers.len()..self.state.num_pods() {
+                self.pod_managers.push(PodManager::new(PodId(p as u32)));
+            }
+        }
+        let state_ref = &self.state;
+        let snap_ref = &snap;
+        let plans: Vec<PodPlan> = self
+            .pod_managers
+            .par_iter()
+            .map(|pm| pm.plan(state_ref, snap_ref))
+            .collect();
+        for plan in plans {
+            self.apply_pod_plan(plan, now);
+        }
+
+        // Global knobs + the serialized VIP/RIP queue.
+        self.global.epoch(&mut self.state, &snap, now);
+
+        // Bind RIPs for instances that came online without one (pod-plan
+        // starts and completed deployments race the queue; this sweep is
+        // idempotent).
+        self.bind_missing_rips();
+
+        // Pods may have been created during the global epoch (elephant
+        // relief): give them managers immediately.
+        for p in self.pod_managers.len()..self.state.num_pods() {
+            self.pod_managers.push(PodManager::new(PodId(p as u32)));
+        }
+
+        // Metrics.
+        let m = &mut self.metrics;
+        m.link_util_max.record(now, max_of(&snap.link_utilizations(&self.state)));
+        m.link_fairness.record(now, snap.link_fairness(&self.state));
+        m.switch_util_max.record(now, max_of(&snap.switch_utilizations(&self.state)));
+        m.pod_util_max.record(now, max_of(&snap.pod_utilizations(&self.state)));
+        m.served_fraction.record(now, snap.served_fraction());
+
+        self.epochs += 1;
+        self.last_snapshot = Some(snap.clone());
+        snap
+    }
+
+    fn apply_pod_plan(&mut self, plan: PodPlan, now: SimTime) {
+        let knobs = self.state.config.knobs;
+        let m = &mut self.metrics;
+        m.decision_times.record(plan.decision_time.as_secs_f64());
+        m.placement_changes.add(plan.placement_changes as u64);
+        if !knobs.pod_slices && !knobs.pod_instances {
+            return; // static provisioning baseline
+        }
+        for (vm, cpu) in if knobs.pod_slices { plan.slice_adjustments } else { Vec::new() } {
+            // May fail transiently when a co-resident VM grew first; the
+            // next round replans around it.
+            if self.state.fleet.adjust_slice(vm, cpu).is_ok() {
+                m.slice_adjustments.incr();
+            }
+        }
+        for (app, server, cpu) in if knobs.pod_instances { plan.new_instances } else { Vec::new() } {
+            // Clone from a running in-pod sibling when possible (fast);
+            // fresh boot otherwise.
+            let source = self
+                .state
+                .fleet
+                .vms_of_app(app.0)
+                .into_iter()
+                .find(|&v| {
+                    matches!(self.state.fleet.vm(v).map(|x| x.state), Ok(VmState::Running))
+                });
+            let created = match source {
+                Some(src) => self.state.fleet.clone_vm(src, server, now),
+                None => self.state.fleet.create_vm(
+                    server,
+                    app.0,
+                    cpu.max(self.state.config.vm_cpu_slice),
+                    self.state.config.vm_mem_mb,
+                    now,
+                ),
+            };
+            if created.is_ok() {
+                m.instance_starts.incr();
+            }
+        }
+        for vm in if knobs.pod_instances { plan.remove_instances } else { Vec::new() } {
+            self.global.viprip.submit(Priority::Low, Request::DeleteRip { vm });
+            m.instance_stops.incr();
+        }
+        for (vip, weights) in plan.weight_requests {
+            self.global.viprip.submit(
+                Priority::Normal,
+                Request::AdjustPodWeights { pod: plan.pod, vip, weights },
+            );
+        }
+    }
+
+    /// Submit `NewRip` for every running VM with no RIP, then process.
+    fn bind_missing_rips(&mut self) {
+        let missing: Vec<(AppId, VmId)> = self
+            .state
+            .fleet
+            .servers()
+            .iter()
+            .flat_map(|s| s.vms())
+            .filter(|vm| matches!(vm.state, VmState::Running))
+            .filter(|vm| self.state.rip_of_vm(vm.id).is_none())
+            .map(|vm| (AppId(vm.app), vm.id))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        for (app, vm) in missing {
+            self.global.viprip.submit(Priority::Normal, Request::NewRip { app, vm, weight: 1.0 });
+        }
+        self.global.viprip.process_all(&mut self.state);
+    }
+
+    /// Run `n` epochs and summarize.
+    pub fn run_epochs(&mut self, n: u64) -> RunReport {
+        for _ in 0..n {
+            self.step();
+        }
+        let m = &self.metrics;
+        RunReport {
+            epochs: self.epochs,
+            final_served_fraction: m.served_fraction.last().unwrap_or(1.0),
+            mean_served_fraction: m
+                .served_fraction
+                .time_weighted_mean()
+                .or_else(|| m.served_fraction.last())
+                .unwrap_or(1.0),
+            final_link_util_max: m.link_util_max.last().unwrap_or(0.0),
+            final_switch_util_max: m.switch_util_max.last().unwrap_or(0.0),
+            final_pod_util_max: m.pod_util_max.last().unwrap_or(0.0),
+        }
+    }
+}
+
+fn max_of(v: &[f64]) -> f64 {
+    v.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::FlashCrowd;
+
+    #[test]
+    fn build_small_platform() {
+        let p = Platform::build(PlatformConfig::small_test()).unwrap();
+        let cfg = &p.state.config;
+        assert_eq!(p.state.num_apps(), cfg.num_apps);
+        // Every app has its VIP quota and initial instances.
+        for app in p.state.apps() {
+            assert_eq!(app.vips.len(), cfg.vips_for_rank(app.popularity_rank));
+        }
+        assert_eq!(p.state.fleet.num_vms(), cfg.num_apps * cfg.initial_instances_per_app);
+        assert_eq!(p.state.num_rips(), p.state.fleet.num_vms());
+        p.state.assert_invariants();
+    }
+
+    #[test]
+    fn steady_state_serves_demand() {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.total_demand_bps = 0.5e9; // comfortably within capacity
+        let mut p = Platform::build(cfg).unwrap();
+        let report = p.run_epochs(30);
+        assert_eq!(report.epochs, 30);
+        assert!(
+            report.final_served_fraction > 0.95,
+            "served {}",
+            report.final_served_fraction
+        );
+        p.state.assert_invariants();
+    }
+
+    #[test]
+    fn epochs_are_deterministic() {
+        let run = |seed: u64| {
+            let mut cfg = PlatformConfig::small_test();
+            cfg.seed = seed;
+            let mut p = Platform::build(cfg).unwrap();
+            p.run_epochs(10)
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.final_served_fraction, b.final_served_fraction);
+        assert_eq!(a.final_link_util_max, b.final_link_util_max);
+        let c = run(8);
+        // Different seed shuffles popularity; almost surely different.
+        assert!(
+            a.final_link_util_max != c.final_link_util_max
+                || a.final_served_fraction != c.final_served_fraction
+        );
+    }
+
+    #[test]
+    fn flash_crowd_recovers_via_knobs() {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.total_demand_bps = 1e9;
+        cfg.diurnal_amplitude = 0.0;
+        let mut p = Platform::build(cfg).unwrap();
+        // Warm up.
+        p.run_epochs(5);
+        let victim = p.workload.apps_by_popularity()[0];
+        let start = p.now() + dcsim::SimDuration::from_secs(20);
+        p.workload.add_flash_crowd(FlashCrowd {
+            app: victim,
+            start,
+            ramp: dcsim::SimDuration::from_secs(60),
+            duration: dcsim::SimDuration::from_secs(1200),
+            peak: 6.0,
+        });
+        let report = p.run_epochs(200);
+        // The platform adapts: instances were added and/or slices grown.
+        let adapted = p.metrics.instance_starts.get() > 0
+            || p.metrics.slice_adjustments.get() > 0;
+        assert!(adapted, "no elastic response to the flash crowd");
+        // And the final state is consistent.
+        p.state.assert_invariants();
+        assert!(report.final_served_fraction > 0.5, "collapsed: {report:?}");
+    }
+
+    #[test]
+    fn pod_managers_track_new_pods() {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.pod_max_servers = 5; // both pods start as elephants (8 > 5)
+        let mut p = Platform::build(cfg).unwrap();
+        p.step();
+        assert!(p.state.num_pods() > 2);
+        assert_eq!(p.pod_managers.len(), p.state.num_pods());
+        p.state.assert_invariants();
+    }
+}

@@ -1,0 +1,794 @@
+//! The platform state: every component of Figure 1 and the mappings
+//! between them.
+//!
+//! All mutations that touch more than one component (e.g. binding a RIP
+//! touches the switch, the VM registry and the address pool) go through
+//! methods here so the cross-component invariants can be stated — and
+//! checked, by [`PlatformState::assert_invariants`] — in one place.
+
+use crate::config::PlatformConfig;
+use crate::ids::{vip_prefix, AppId, PodId, RipPool, VipPool};
+use dcdns::DnsSystem;
+use dcnet::access::{AccessNetwork, AccessRouterId};
+use dcnet::routing::RouteTable;
+use dcsim::SimTime;
+use lbswitch::{LbSwitch, RipAddr, SwitchError, SwitchId, VipAddr};
+use std::collections::BTreeMap;
+use vmm::{Fleet, ServerId, VmError, VmId};
+
+/// Per-application record.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// The application id.
+    pub id: AppId,
+    /// All VIPs assigned to this application, in assignment order.
+    pub vips: Vec<VipAddr>,
+    /// Popularity rank at build time (0 = most popular); drives the
+    /// "popular applications are assigned more VIPs" policy (§IV.A).
+    pub popularity_rank: usize,
+}
+
+/// Per-VIP record.
+#[derive(Debug, Clone, Copy)]
+pub struct VipRecord {
+    /// Owning application.
+    pub app: AppId,
+    /// The LB switch currently hosting this VIP.
+    pub switch: SwitchId,
+    /// The access router where this VIP's prefix is advertised (selective
+    /// exposure typically uses exactly one, §IV.A).
+    pub router: Option<AccessRouterId>,
+}
+
+/// Per-RIP record: a RIP is the address of one VM under one VIP.
+#[derive(Debug, Clone, Copy)]
+pub struct RipRecord {
+    /// The VIP this RIP serves.
+    pub vip: VipAddr,
+    /// The backing VM.
+    pub vm: VmId,
+}
+
+/// Errors from platform-state mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// Underlying switch rejected the operation.
+    Switch(SwitchError),
+    /// Underlying fleet rejected the operation.
+    Vm(VmError),
+    /// Unknown application.
+    UnknownApp(AppId),
+    /// Unknown VIP.
+    UnknownVip(VipAddr),
+    /// Unknown RIP.
+    UnknownRip(RipAddr),
+    /// The RIP address pool (the 10/8 block) is exhausted.
+    RipPoolExhausted,
+}
+
+impl From<SwitchError> for StateError {
+    fn from(e: SwitchError) -> Self {
+        StateError::Switch(e)
+    }
+}
+impl From<VmError> for StateError {
+    fn from(e: VmError) -> Self {
+        StateError::Vm(e)
+    }
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Switch(e) => write!(f, "switch: {e}"),
+            StateError::Vm(e) => write!(f, "fleet: {e}"),
+            StateError::UnknownApp(a) => write!(f, "unknown {a}"),
+            StateError::UnknownVip(v) => write!(f, "unknown {v}"),
+            StateError::UnknownRip(r) => write!(f, "unknown {r}"),
+            StateError::RipPoolExhausted => write!(f, "RIP pool (10/8) exhausted"),
+        }
+    }
+}
+impl std::error::Error for StateError {}
+
+/// The complete platform state.
+#[derive(Debug)]
+pub struct PlatformState {
+    /// The configuration this state was built from.
+    pub config: PlatformConfig,
+    /// The physical server fleet.
+    pub fleet: Fleet,
+    /// The globally shared LB switch fabric (§III.C).
+    pub switches: Vec<LbSwitch>,
+    /// The platform's authoritative DNS (§IV.A).
+    pub dns: DnsSystem,
+    /// External route announcements (§IV.A).
+    pub routes: RouteTable,
+    /// The access connection layer.
+    pub access: AccessNetwork,
+
+    apps: Vec<AppRecord>,
+    vips: BTreeMap<VipAddr, VipRecord>,
+    rips: BTreeMap<RipAddr, RipRecord>,
+    /// Reverse index: VM → its RIP (each VM instance has exactly one RIP).
+    vm_rip: BTreeMap<VmId, RipAddr>,
+
+    /// Logical pod of each server (indexed by server id).
+    pod_of_server: Vec<PodId>,
+    /// Servers of each pod.
+    pod_servers: Vec<Vec<ServerId>>,
+
+    vip_pool: VipPool,
+    rip_pool: RipPool,
+
+    /// Health of each LB switch (indexed by switch id). Failed switches
+    /// hold no configuration and are skipped by every allocation policy.
+    switch_ok: Vec<bool>,
+    /// Health of each server (indexed by server id). Failed servers hold
+    /// no VMs and are skipped by placement.
+    server_ok: Vec<bool>,
+}
+
+impl PlatformState {
+    /// Create a state with the fleet, switches, DNS, routes and access
+    /// network built but no apps/VIPs/VMs yet (the builder in
+    /// [`crate::platform`] populates those).
+    pub fn new(config: PlatformConfig) -> Self {
+        let fleet = Fleet::homogeneous(config.num_servers, config.server_spec, config.cost_model);
+        let num_switches = config.effective_num_switches();
+        let switches = (0..num_switches)
+            .map(|i| LbSwitch::new(SwitchId(i as u32), config.switch_limits))
+            .collect();
+        let access = AccessNetwork::symmetric(
+            config.num_access_links as u32,
+            config.access_link_bps,
+            config.access_link_cost_per_gb,
+        );
+        // Deal servers into pods round-robin.
+        let mut pod_servers = vec![Vec::new(); config.initial_pods];
+        let mut pod_of_server = Vec::with_capacity(config.num_servers);
+        for s in 0..config.num_servers {
+            let pod = s % config.initial_pods;
+            pod_servers[pod].push(ServerId(s as u32));
+            pod_of_server.push(PodId(pod as u32));
+        }
+        let num_switches_built = num_switches;
+        PlatformState {
+            switch_ok: vec![true; num_switches_built],
+            server_ok: vec![true; config.num_servers],
+            fleet,
+            switches,
+            dns: DnsSystem::new(config.dns),
+            routes: RouteTable::new(config.route_convergence),
+            access,
+            apps: Vec::new(),
+            vips: BTreeMap::new(),
+            rips: BTreeMap::new(),
+            vm_rip: BTreeMap::new(),
+            pod_of_server,
+            pod_servers,
+            vip_pool: VipPool::new(),
+            rip_pool: RipPool::new(),
+            config,
+        }
+    }
+
+    // ---- applications -----------------------------------------------------
+
+    /// Register an application with its popularity rank. Returns its id.
+    pub fn register_app(&mut self, popularity_rank: usize) -> AppId {
+        let id = AppId(self.apps.len() as u32);
+        self.apps.push(AppRecord { id, vips: Vec::new(), popularity_rank });
+        id
+    }
+
+    /// Number of registered applications.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Application record.
+    pub fn app(&self, id: AppId) -> Result<&AppRecord, StateError> {
+        self.apps.get(id.0 as usize).ok_or(StateError::UnknownApp(id))
+    }
+
+    /// All applications.
+    pub fn apps(&self) -> &[AppRecord] {
+        &self.apps
+    }
+
+    // ---- VIPs ---------------------------------------------------------------
+
+    /// Allocate a fresh VIP for `app` on `switch`. Does not advertise it.
+    pub fn allocate_vip(&mut self, app: AppId, switch: SwitchId) -> Result<VipAddr, StateError> {
+        self.app(app)?;
+        let vip = self.vip_pool.alloc();
+        if let Err(e) = self.switches[switch.0 as usize].add_vip(vip) {
+            self.vip_pool.release(vip);
+            return Err(e.into());
+        }
+        self.vips.insert(vip, VipRecord { app, switch, router: None });
+        self.apps[app.0 as usize].vips.push(vip);
+        Ok(vip)
+    }
+
+    /// Record of one VIP.
+    pub fn vip(&self, vip: VipAddr) -> Result<&VipRecord, StateError> {
+        self.vips.get(&vip).ok_or(StateError::UnknownVip(vip))
+    }
+
+    /// All VIPs (with records).
+    pub fn vips(&self) -> impl Iterator<Item = (VipAddr, &VipRecord)> {
+        self.vips.iter().map(|(&v, r)| (v, r))
+    }
+
+    /// Advertise a VIP's prefix at an access router (BGP side of selective
+    /// exposure). Re-advertising at a new router withdraws the old route.
+    pub fn advertise_vip(&mut self, vip: VipAddr, router: AccessRouterId, now: SimTime) -> Result<(), StateError> {
+        let rec = self.vips.get_mut(&vip).ok_or(StateError::UnknownVip(vip))?;
+        if let Some(old) = rec.router {
+            if old != router {
+                self.routes.withdraw(vip_prefix(vip), old, now);
+            }
+        }
+        rec.router = Some(router);
+        self.routes.advertise(vip_prefix(vip), router, 0, now);
+        Ok(())
+    }
+
+    /// Transfer a VIP between switches — the §IV.B internal reassignment:
+    /// "a VIP can simply be moved from the overloaded to an underloaded LB
+    /// switch … no access routers are involved". The caller is responsible
+    /// for the quiescence gate; the switch itself refuses if sessions are
+    /// live (session mode).
+    pub fn transfer_vip(&mut self, vip: VipAddr, to: SwitchId) -> Result<(), StateError> {
+        let rec = *self.vip(vip)?;
+        if rec.switch == to {
+            return Ok(());
+        }
+        let from = rec.switch.0 as usize;
+        let rips = self.switches[from].remove_vip(vip)?;
+        let dst = &mut self.switches[to.0 as usize];
+        // Install on destination; roll back on failure so the state is
+        // never left with an orphaned VIP.
+        if let Err(e) = dst.add_vip(vip) {
+            let src = &mut self.switches[from];
+            src.add_vip(vip).expect("rollback: source had this VIP a moment ago");
+            for r in &rips {
+                src.add_rip(vip, r.rip, r.weight).expect("rollback: RIPs fit before");
+            }
+            return Err(e.into());
+        }
+        let mut installed = Vec::new();
+        for r in &rips {
+            match self.switches[to.0 as usize].add_rip(vip, r.rip, r.weight) {
+                Ok(()) => installed.push(r),
+                Err(e) => {
+                    // Roll back everything.
+                    let dst = &mut self.switches[to.0 as usize];
+                    dst.remove_vip(vip).expect("rollback: just added");
+                    let src = &mut self.switches[from];
+                    src.add_vip(vip).expect("rollback");
+                    for r in &rips {
+                        src.add_rip(vip, r.rip, r.weight).expect("rollback");
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        self.vips.get_mut(&vip).expect("checked").switch = to;
+        Ok(())
+    }
+
+    // ---- instances (VM + RIP) ----------------------------------------------
+
+    /// Bind a fresh RIP for `vm` under `vip` with the given weight.
+    pub fn bind_rip(&mut self, vip: VipAddr, vm: VmId, weight: f64) -> Result<RipAddr, StateError> {
+        let rec = *self.vip(vip)?;
+        self.fleet.vm(vm)?;
+        let rip = self.rip_pool.alloc().ok_or(StateError::RipPoolExhausted)?;
+        if let Err(e) = self.switches[rec.switch.0 as usize].add_rip(vip, rip, weight) {
+            self.rip_pool.release(rip);
+            return Err(e.into());
+        }
+        self.rips.insert(rip, RipRecord { vip, vm });
+        self.vm_rip.insert(vm, rip);
+        Ok(rip)
+    }
+
+    /// Create a new `Running` VM instance of `app` on `server` and bind a
+    /// RIP for it under `vip`. The bootstrap path; runtime deployment goes
+    /// through clone/boot with latencies (see [`crate::global`]).
+    pub fn add_instance_running(
+        &mut self,
+        app: AppId,
+        server: ServerId,
+        vip: VipAddr,
+        weight: f64,
+    ) -> Result<(VmId, RipAddr), StateError> {
+        debug_assert_eq!(self.vip(vip)?.app, app, "RIP must map to a VIP of the same app");
+        let cfg = &self.config;
+        let vm = self
+            .fleet
+            .create_vm_running(server, app.0, cfg.vm_cpu_slice, cfg.vm_mem_mb)?;
+        match self.bind_rip(vip, vm, weight) {
+            Ok(rip) => Ok((vm, rip)),
+            Err(e) => {
+                self.fleet.destroy_vm(vm).expect("just created");
+                Err(e)
+            }
+        }
+    }
+
+    /// Remove an instance: unbind its RIP from its switch and destroy the
+    /// VM. Returns the number of sessions dropped at the switch (0 in
+    /// fluid mode / when drained).
+    pub fn remove_instance(&mut self, vm: VmId) -> Result<u64, StateError> {
+        let rip = self.vm_rip.remove(&vm).ok_or(StateError::Vm(VmError::UnknownVm(vm)))?;
+        let rec = self.rips.remove(&rip).expect("vm_rip and rips in sync");
+        let switch = self.vip(rec.vip)?.switch;
+        let dropped = self.switches[switch.0 as usize].remove_rip(rec.vip, rip)?;
+        self.rip_pool.release(rip);
+        self.fleet.destroy_vm(vm)?;
+        Ok(dropped)
+    }
+
+    /// The RIP of a VM, if bound.
+    pub fn rip_of_vm(&self, vm: VmId) -> Option<RipAddr> {
+        self.vm_rip.get(&vm).copied()
+    }
+
+    /// Record of one RIP.
+    pub fn rip(&self, rip: RipAddr) -> Result<&RipRecord, StateError> {
+        self.rips.get(&rip).ok_or(StateError::UnknownRip(rip))
+    }
+
+    /// Total RIPs bound.
+    pub fn num_rips(&self) -> usize {
+        self.rips.len()
+    }
+
+    /// Number of RIPs configured under a VIP. A VIP with zero RIPs is an
+    /// *unused* spare (§IV.A) — it must not be exposed through DNS, since
+    /// demand reaching it has nowhere to go.
+    pub fn vip_rip_count(&self, vip: VipAddr) -> usize {
+        let Ok(rec) = self.vip(vip) else { return 0 };
+        self.switches[rec.switch.0 as usize]
+            .vip(vip)
+            .map(|cfg| cfg.rips.len())
+            .unwrap_or(0)
+    }
+
+    // ---- pods -----------------------------------------------------------------
+
+    /// Number of pods.
+    pub fn num_pods(&self) -> usize {
+        self.pod_servers.len()
+    }
+
+    /// Servers of one pod.
+    pub fn pod_servers(&self, pod: PodId) -> &[ServerId] {
+        &self.pod_servers[pod.index()]
+    }
+
+    /// Pod of one server.
+    pub fn pod_of(&self, server: ServerId) -> PodId {
+        self.pod_of_server[server.0 as usize]
+    }
+
+    /// Create a new, empty logical pod (pods are pure bookkeeping —
+    /// §III.B: "logical pods … independent of server location").
+    pub fn create_pod(&mut self) -> PodId {
+        let id = PodId(self.pod_servers.len() as u32);
+        self.pod_servers.push(Vec::new());
+        id
+    }
+
+    /// Reassign a server to another pod — §IV.C's *server transfer*. The
+    /// caller must have vacated it (or accept that its VMs move with it,
+    /// which is the paper's elephant-pod relief variant).
+    pub fn move_server_to_pod(&mut self, server: ServerId, pod: PodId) {
+        let old = self.pod_of_server[server.0 as usize];
+        if old == pod {
+            return;
+        }
+        let list = &mut self.pod_servers[old.index()];
+        let pos = list.iter().position(|&s| s == server).expect("pod lists consistent");
+        list.swap_remove(pos);
+        self.pod_servers[pod.index()].push(server);
+        self.pod_of_server[server.0 as usize] = pod;
+    }
+
+    /// Number of VMs currently resident in a pod.
+    pub fn pod_vm_count(&self, pod: PodId) -> usize {
+        self.pod_servers(pod)
+            .iter()
+            .map(|&s| self.fleet.server(s).expect("pod lists valid").vm_count())
+            .sum()
+    }
+
+    /// Total CPU capacity of a pod.
+    pub fn pod_cpu_capacity(&self, pod: PodId) -> f64 {
+        self.pod_servers(pod)
+            .iter()
+            .map(|&s| self.fleet.server(s).expect("pod lists valid").spec().cpu)
+            .sum()
+    }
+
+    /// Apps covering a pod (§III.A's *covers* relation): apps with at
+    /// least one VM instance in the pod.
+    pub fn apps_covering_pod(&self, pod: PodId) -> Vec<AppId> {
+        let mut apps: Vec<u32> = self
+            .pod_servers(pod)
+            .iter()
+            .flat_map(|&s| self.fleet.server(s).expect("valid").vms().map(|vm| vm.app))
+            .collect();
+        apps.sort_unstable();
+        apps.dedup();
+        apps.into_iter().map(AppId).collect()
+    }
+
+    /// The pods covered by a VIP (pods containing a VM whose RIP maps to
+    /// the VIP).
+    pub fn pods_covered_by_vip(&self, vip: VipAddr) -> Vec<PodId> {
+        let Ok(rec) = self.vip(vip) else { return Vec::new() };
+        let switch = &self.switches[rec.switch.0 as usize];
+        let Ok(cfg) = switch.vip(vip) else { return Vec::new() };
+        let mut pods: Vec<u32> = cfg
+            .rips
+            .iter()
+            .filter_map(|r| self.rips.get(&r.rip))
+            .filter_map(|rr| self.fleet.locate(rr.vm).ok())
+            .map(|srv| self.pod_of(srv).0)
+            .collect();
+        pods.sort_unstable();
+        pods.dedup();
+        pods.into_iter().map(PodId).collect()
+    }
+
+    // ---- failures (§III: "fully interconnected … to enhance the platform
+    // reliability") ------------------------------------------------------------
+
+    /// `true` if the switch is healthy.
+    pub fn switch_healthy(&self, id: SwitchId) -> bool {
+        self.switch_ok[id.0 as usize]
+    }
+
+    /// `true` if the server is healthy.
+    pub fn server_healthy(&self, id: ServerId) -> bool {
+        self.server_ok[id.0 as usize]
+    }
+
+    /// Number of healthy switches.
+    pub fn healthy_switch_count(&self) -> usize {
+        self.switch_ok.iter().filter(|&&ok| ok).count()
+    }
+
+    /// Fail an LB switch: every VIP configured on it is force-removed
+    /// (live sessions drop) and re-homed onto the least-loaded healthy
+    /// switch with table capacity — possible precisely because "the border
+    /// routers and the LB switches are fully interconnected" (§III), so no
+    /// external route changes. VIPs that cannot be re-homed (fabric out of
+    /// capacity) are deleted from their app's VIP set.
+    ///
+    /// Returns `(vips re-homed, vips lost, sessions dropped)`.
+    pub fn fail_switch(&mut self, id: SwitchId) -> (usize, usize, u64) {
+        assert!(self.switch_ok[id.0 as usize], "switch already failed");
+        self.switch_ok[id.0 as usize] = false;
+        let vips: Vec<VipAddr> = self.switches[id.0 as usize].vips().map(|(v, _)| v).collect();
+        let mut rehomed = 0;
+        let mut lost = 0;
+        let mut dropped = 0;
+        for vip in vips {
+            let (rips, sessions) = self.switches[id.0 as usize]
+                .force_remove_vip(vip)
+                .expect("listed VIP configured");
+            dropped += sessions;
+            // Least-loaded healthy switch with room for the VIP + its RIPs.
+            let target = self
+                .switches
+                .iter()
+                .enumerate()
+                .filter(|&(i, sw)| {
+                    self.switch_ok[i] && sw.vip_slots_free() > 0 && sw.rip_slots_free() >= rips.len()
+                })
+                .min_by(|(_, a), (_, b)| {
+                    a.utilization().partial_cmp(&b.utilization()).expect("finite")
+                })
+                .map(|(_, sw)| sw.id());
+            match target {
+                Some(t) => {
+                    let dst = &mut self.switches[t.0 as usize];
+                    dst.add_vip(vip).expect("capacity checked");
+                    for r in &rips {
+                        dst.add_rip(vip, r.rip, r.weight).expect("capacity checked");
+                    }
+                    self.vips.get_mut(&vip).expect("recorded").switch = t;
+                    rehomed += 1;
+                }
+                None => {
+                    // Catastrophic: drop the VIP and its instances' RIPs.
+                    for r in &rips {
+                        if let Some(rec) = self.rips.remove(&r.rip) {
+                            self.vm_rip.remove(&rec.vm);
+                            self.rip_pool.release(r.rip);
+                        }
+                    }
+                    let rec = self.vips.remove(&vip).expect("recorded");
+                    let app_vips = &mut self.apps[rec.app.0 as usize].vips;
+                    app_vips.retain(|&v| v != vip);
+                    self.vip_pool.release(vip);
+                    lost += 1;
+                }
+            }
+        }
+        (rehomed, lost, dropped)
+    }
+
+    /// Fail a server: every resident VM is destroyed and its RIP unbound
+    /// (the pod manager re-provisions replacements on its next round).
+    /// Returns the number of VMs lost.
+    pub fn fail_server(&mut self, id: ServerId) -> usize {
+        assert!(self.server_ok[id.0 as usize], "server already failed");
+        self.server_ok[id.0 as usize] = false;
+        let vms: Vec<VmId> = self
+            .fleet
+            .server(id)
+            .expect("valid server")
+            .vms()
+            .map(|vm| vm.id)
+            .collect();
+        for vm in &vms {
+            // VMs with a RIP unbind it; bare VMs (booting clones) just die.
+            if self.rip_of_vm(*vm).is_some() {
+                self.remove_instance(*vm).expect("resident instance");
+            } else {
+                self.fleet.destroy_vm(*vm).expect("resident VM");
+            }
+        }
+        vms.len()
+    }
+
+    // ---- invariants ---------------------------------------------------------
+
+    /// Check every cross-component invariant; panics with a description on
+    /// the first violation. O(everything) — tests and E12 only.
+    pub fn assert_invariants(&self) {
+        // Every recorded VIP is configured on exactly the recorded switch.
+        for (&vip, rec) in &self.vips {
+            for sw in &self.switches {
+                let has = sw.has_vip(vip);
+                assert_eq!(
+                    has,
+                    sw.id() == rec.switch,
+                    "{vip} presence on {} contradicts record",
+                    sw.id()
+                );
+            }
+            assert!(
+                self.apps[rec.app.0 as usize].vips.contains(&vip),
+                "{vip} missing from its app's VIP list"
+            );
+        }
+        // Switch limits hold.
+        for sw in &self.switches {
+            assert!(sw.vip_count() <= sw.limits().max_vips, "{} over VIP limit", sw.id());
+            assert!(sw.rip_count() <= sw.limits().max_rips, "{} over RIP limit", sw.id());
+        }
+        // Every RIP record matches a switch entry and a live VM of the
+        // right app.
+        for (&rip, rec) in &self.rips {
+            let vrec = self.vips.get(&rec.vip).expect("RIP references live VIP");
+            let sw = &self.switches[vrec.switch.0 as usize];
+            let cfg = sw.vip(rec.vip).expect("VIP configured");
+            assert!(cfg.rips.iter().any(|r| r.rip == rip), "{rip} not on its VIP's switch");
+            let vm = self.fleet.vm(rec.vm).expect("RIP references live VM");
+            assert_eq!(AppId(vm.app), vrec.app, "{rip}: VM app != VIP app");
+            assert_eq!(self.vm_rip.get(&rec.vm), Some(&rip), "vm_rip out of sync");
+        }
+        // Failed components hold nothing.
+        for (i, sw) in self.switches.iter().enumerate() {
+            if !self.switch_ok[i] {
+                assert_eq!(sw.vip_count(), 0, "failed {} still holds VIPs", sw.id());
+            }
+        }
+        for (i, &ok) in self.server_ok.iter().enumerate() {
+            if !ok {
+                let srv = self.fleet.server(ServerId(i as u32)).expect("valid");
+                assert_eq!(srv.vm_count(), 0, "failed {} still hosts VMs", srv.id());
+            }
+        }
+        // Pod bookkeeping is a partition of the fleet.
+        let mut seen = vec![false; self.config.num_servers];
+        for (p, servers) in self.pod_servers.iter().enumerate() {
+            for &s in servers {
+                assert!(!seen[s.0 as usize], "{s} in two pods");
+                seen[s.0 as usize] = true;
+                assert_eq!(self.pod_of_server[s.0 as usize], PodId(p as u32));
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "server missing from all pods");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnet::access::AccessRouterId;
+
+    fn state() -> PlatformState {
+        let mut st = PlatformState::new(PlatformConfig::small_test());
+        for rank in 0..st.config.num_apps {
+            st.register_app(rank);
+        }
+        st
+    }
+
+    #[test]
+    fn new_state_partitions_servers_into_pods() {
+        let st = state();
+        assert_eq!(st.num_pods(), 2);
+        assert_eq!(st.pod_servers(PodId(0)).len() + st.pod_servers(PodId(1)).len(), 16);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn vip_allocation_and_advertisement() {
+        let mut st = state();
+        let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        assert_eq!(st.vip(vip).unwrap().app, AppId(0));
+        assert!(st.switches[0].has_vip(vip));
+        st.advertise_vip(vip, AccessRouterId(1), SimTime::ZERO).unwrap();
+        assert_eq!(st.vip(vip).unwrap().router, Some(AccessRouterId(1)));
+        assert_eq!(st.routes.updates_sent(), 1);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn readvertising_withdraws_old_route() {
+        let mut st = state();
+        let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        st.advertise_vip(vip, AccessRouterId(0), SimTime::ZERO).unwrap();
+        st.advertise_vip(vip, AccessRouterId(2), SimTime::from_secs(100)).unwrap();
+        // withdraw + advertise = 2 more updates.
+        assert_eq!(st.routes.updates_sent(), 3);
+    }
+
+    #[test]
+    fn instance_lifecycle() {
+        let mut st = state();
+        let vip = st.allocate_vip(AppId(3), SwitchId(0)).unwrap();
+        let (vm, rip) = st.add_instance_running(AppId(3), ServerId(0), vip, 1.0).unwrap();
+        assert_eq!(st.rip_of_vm(vm), Some(rip));
+        assert_eq!(st.rip(rip).unwrap().vip, vip);
+        assert_eq!(st.num_rips(), 1);
+        st.assert_invariants();
+        st.remove_instance(vm).unwrap();
+        assert_eq!(st.num_rips(), 0);
+        assert!(st.fleet.vm(vm).is_err());
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn vip_transfer_moves_rips() {
+        let mut st = state();
+        let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        let (_vm, rip) = st.add_instance_running(AppId(0), ServerId(0), vip, 2.0).unwrap();
+        st.transfer_vip(vip, SwitchId(1)).unwrap();
+        assert!(!st.switches[0].has_vip(vip));
+        assert!(st.switches[1].has_vip(vip));
+        let cfg = st.switches[1].vip(vip).unwrap();
+        assert_eq!(cfg.rips.len(), 1);
+        assert_eq!(cfg.rips[0].rip, rip);
+        assert!((cfg.rips[0].weight - 2.0).abs() < 1e-12);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn vip_transfer_rolls_back_when_destination_full() {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.switch_limits.max_vips = 1;
+        let mut st = PlatformState::new(cfg);
+        for rank in 0..st.config.num_apps {
+            st.register_app(rank);
+        }
+        let a = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        let _b = st.allocate_vip(AppId(1), SwitchId(1)).unwrap();
+        let err = st.transfer_vip(a, SwitchId(1)).unwrap_err();
+        assert!(matches!(err, StateError::Switch(SwitchError::VipLimitExceeded)));
+        // Rolled back: still on switch 0.
+        assert!(st.switches[0].has_vip(a));
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn server_transfer_between_pods() {
+        let mut st = state();
+        let server = st.pod_servers(PodId(0))[0];
+        st.move_server_to_pod(server, PodId(1));
+        assert_eq!(st.pod_of(server), PodId(1));
+        assert!(st.pod_servers(PodId(1)).contains(&server));
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn coverage_relations() {
+        let mut st = state();
+        let vip = st.allocate_vip(AppId(5), SwitchId(0)).unwrap();
+        let s0 = st.pod_servers(PodId(0))[0];
+        let s1 = st.pod_servers(PodId(1))[0];
+        st.add_instance_running(AppId(5), s0, vip, 1.0).unwrap();
+        st.add_instance_running(AppId(5), s1, vip, 1.0).unwrap();
+        assert_eq!(st.pods_covered_by_vip(vip), vec![PodId(0), PodId(1)]);
+        assert!(st.apps_covering_pod(PodId(0)).contains(&AppId(5)));
+        assert_eq!(st.pod_vm_count(PodId(0)), 1);
+    }
+
+    #[test]
+    fn switch_failure_rehomes_vips_with_sessions_dropped() {
+        let mut st = state();
+        let vip_a = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        let vip_b = st.allocate_vip(AppId(1), SwitchId(0)).unwrap();
+        st.add_instance_running(AppId(0), ServerId(0), vip_a, 1.0).unwrap();
+        st.add_instance_running(AppId(1), ServerId(1), vip_b, 2.0).unwrap();
+        // Live sessions on vip_a.
+        st.switches[0].open_session(vip_a, 7).unwrap();
+        let (rehomed, lost, dropped) = st.fail_switch(SwitchId(0));
+        assert_eq!(rehomed, 2);
+        assert_eq!(lost, 0);
+        assert_eq!(dropped, 1);
+        assert!(!st.switch_healthy(SwitchId(0)));
+        // Both VIPs now live on switch 1 with their RIPs and weights.
+        assert_eq!(st.vip(vip_a).unwrap().switch, SwitchId(1));
+        let cfg = st.switches[1].vip(vip_b).unwrap();
+        assert!((cfg.rips[0].weight - 2.0).abs() < 1e-12);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn switch_failure_without_capacity_loses_vips() {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.switch_limits.max_vips = 1;
+        let mut st = PlatformState::new(cfg);
+        for rank in 0..st.config.num_apps {
+            st.register_app(rank);
+        }
+        let _a = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        let _b = st.allocate_vip(AppId(1), SwitchId(1)).unwrap();
+        // Switch 1 is full: the failed switch's VIP cannot be re-homed.
+        let (rehomed, lost, _) = st.fail_switch(SwitchId(0));
+        assert_eq!(rehomed, 0);
+        assert_eq!(lost, 1);
+        assert!(st.app(AppId(0)).unwrap().vips.is_empty());
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn server_failure_destroys_instances_and_unbinds_rips() {
+        let mut st = state();
+        let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        let (vm, _) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
+        let lost = st.fail_server(ServerId(0));
+        assert_eq!(lost, 1);
+        assert!(!st.server_healthy(ServerId(0)));
+        assert!(st.fleet.vm(vm).is_err());
+        assert_eq!(st.num_rips(), 0);
+        assert_eq!(st.vip_rip_count(vip), 0);
+        st.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "already failed")]
+    fn double_failure_panics() {
+        let mut st = state();
+        st.fail_server(ServerId(3));
+        st.fail_server(ServerId(3));
+    }
+
+    #[test]
+    fn bind_rip_rejects_unknown_vm() {
+        let mut st = state();
+        let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        assert!(st.bind_rip(vip, VmId(999), 1.0).is_err());
+    }
+}

@@ -1,0 +1,481 @@
+//! The VIP/RIP manager (§III.C).
+//!
+//! "Various control elements such as individual server pod managers, as
+//! well as the global manager, can have independent and potentially
+//! competing needs for VIP/RIP configuration. In order to mediate and
+//! serialize all requests for VIP/RIP (re)configuration, we assign the
+//! responsibility to process any such requests to the global manager. …
+//! The global manager processes the requests sequentially according to
+//! their priority."
+//!
+//! The manager owns the two allocation policies the paper spells out:
+//!
+//! * **New VIP** → "identifies an underloaded switch (i.e., one with few
+//!   already-configured VIPs and a low data throughput being handled)".
+//! * **New RIP** → "considers the switches that host one of the VIPs of
+//!   the corresponding application, selects the most appropriate switch
+//!   with spare RIP capacity", scoring by throughput and RIP occupancy.
+//!
+//! It also implements the §IV.F constraint for pod-requested weight
+//! changes: "the total weight of the RIPs in the pod remains the same and
+//! therefore the load on other pods is not affected".
+
+use crate::ids::{AppId, PodId};
+use crate::state::{PlatformState, StateError};
+use lbswitch::{RipAddr, SwitchId, VipAddr};
+use std::collections::BinaryHeap;
+use vmm::VmId;
+
+/// Request priority: lower value = processed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Global-manager knobs (overload relief) go first.
+    High,
+    /// Pod-manager provisioning.
+    Normal,
+    /// Cleanup (deletions, weight trims).
+    Low,
+}
+
+impl Priority {
+    fn rank(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// A VIP/RIP configuration request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Allocate a new VIP for an application on an underloaded switch.
+    NewVip {
+        /// The application.
+        app: AppId,
+    },
+    /// Bind a RIP for a VM under one of its app's VIPs (manager picks the
+    /// switch/VIP).
+    NewRip {
+        /// The application (must own the VM).
+        app: AppId,
+        /// The backing VM.
+        vm: VmId,
+        /// Initial load-balancing weight.
+        weight: f64,
+    },
+    /// Remove a VM's RIP.
+    DeleteRip {
+        /// The VM whose RIP should be unbound.
+        vm: VmId,
+    },
+    /// Set the weight of a VM's RIP (global-manager inter-pod balancing,
+    /// §IV.F).
+    SetWeight {
+        /// The VM whose RIP weight changes.
+        vm: VmId,
+        /// The new weight.
+        weight: f64,
+    },
+    /// Pod-requested intra-pod reweighting under one VIP (§IV.F): the
+    /// manager rescales so the pod's total weight under that VIP is
+    /// preserved, keeping other pods unaffected.
+    AdjustPodWeights {
+        /// The requesting pod.
+        pod: PodId,
+        /// The VIP whose RIP weights change.
+        vip: VipAddr,
+        /// Requested relative weights per VM.
+        weights: Vec<(VmId, f64)>,
+    },
+}
+
+/// Outcome of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A VIP was allocated on the given switch.
+    VipAllocated(VipAddr, SwitchId),
+    /// A RIP was bound under the given VIP.
+    RipBound(RipAddr, VipAddr),
+    /// Operation completed.
+    Done,
+    /// Operation failed.
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct Queued {
+    priority: u8,
+    seq: u64,
+    request: Request,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: invert so lowest (priority, seq) pops first.
+        other
+            .priority
+            .cmp(&self.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The serialized VIP/RIP configuration mediator.
+#[derive(Debug, Default)]
+pub struct VipRipManager {
+    queue: BinaryHeap<Queued>,
+    next_seq: u64,
+    processed: u64,
+    failed: u64,
+}
+
+impl VipRipManager {
+    /// New empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a request.
+    pub fn submit(&mut self, priority: Priority, request: Request) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Queued { priority: priority.rank(), seq, request });
+    }
+
+    /// Pending request count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Requests that failed so far.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Drain the queue in (priority, FIFO) order, applying each request to
+    /// the platform state. Returns `(request, response)` pairs in
+    /// processing order.
+    pub fn process_all(&mut self, state: &mut PlatformState) -> Vec<(Request, Response)> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(q) = self.queue.pop() {
+            let resp = self.apply(state, &q.request);
+            self.processed += 1;
+            if matches!(resp, Response::Failed(_)) {
+                self.failed += 1;
+            }
+            out.push((q.request, resp));
+        }
+        out
+    }
+
+    fn apply(&self, state: &mut PlatformState, req: &Request) -> Response {
+        match req {
+            Request::NewVip { app } => match Self::pick_vip_switch(state) {
+                Some(sw) => match state.allocate_vip(*app, sw) {
+                    Ok(vip) => Response::VipAllocated(vip, sw),
+                    Err(e) => Response::Failed(e.to_string()),
+                },
+                None => Response::Failed("no switch with free VIP capacity".into()),
+            },
+            Request::NewRip { app, vm, weight } => {
+                match Self::pick_rip_vip(state, *app) {
+                    Some(vip) => match state.bind_rip(vip, *vm, *weight) {
+                        Ok(rip) => Response::RipBound(rip, vip),
+                        Err(e) => Response::Failed(e.to_string()),
+                    },
+                    None => Response::Failed(format!(
+                        "no VIP of {app} on a switch with spare RIP capacity"
+                    )),
+                }
+            }
+            Request::DeleteRip { vm } => match state.remove_instance(*vm) {
+                Ok(_) => Response::Done,
+                Err(e) => Response::Failed(e.to_string()),
+            },
+            Request::SetWeight { vm, weight } => match Self::set_vm_weight(state, *vm, *weight) {
+                Ok(()) => Response::Done,
+                Err(e) => Response::Failed(e.to_string()),
+            },
+            Request::AdjustPodWeights { pod, vip, weights } => {
+                match Self::adjust_pod_weights(state, *pod, *vip, weights) {
+                    Ok(()) => Response::Done,
+                    Err(e) => Response::Failed(e.to_string()),
+                }
+            }
+        }
+    }
+
+    /// §III.C new-VIP policy: fewest configured VIPs + lowest throughput
+    /// (healthy switches only).
+    fn pick_vip_switch(state: &PlatformState) -> Option<SwitchId> {
+        state
+            .switches
+            .iter()
+            .filter(|sw| state.switch_healthy(sw.id()) && sw.vip_slots_free() > 0)
+            .min_by(|a, b| {
+                let score = |sw: &lbswitch::LbSwitch| {
+                    sw.vip_count() as f64 / sw.limits().max_vips as f64 + sw.utilization()
+                };
+                score(a).partial_cmp(&score(b)).expect("finite scores")
+            })
+            .map(|sw| sw.id())
+    }
+
+    /// §III.C new-RIP policy: among switches hosting a VIP of the app with
+    /// spare RIP capacity, pick the lowest (RIP occupancy + throughput)
+    /// score; ties prefer the VIP with the fewest RIPs (spreads instances
+    /// across the app's VIPs).
+    fn pick_rip_vip(state: &PlatformState, app: AppId) -> Option<VipAddr> {
+        let record = state.app(app).ok()?;
+        record
+            .vips
+            .iter()
+            .filter_map(|&vip| {
+                let sw = &state.switches[state.vip(vip).ok()?.switch.0 as usize];
+                if !state.switch_healthy(sw.id()) || sw.rip_slots_free() == 0 {
+                    return None;
+                }
+                let rips_on_vip = sw.vip(vip).ok()?.rips.len();
+                // The spread term matters: piling an app's instances under
+                // one VIP concentrates its demand on one 4 Gbps switch.
+                let score = sw.rip_count() as f64 / sw.limits().max_rips as f64
+                    + sw.utilization()
+                    + rips_on_vip as f64 * 0.05;
+                Some((vip, score))
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .map(|(vip, _)| vip)
+    }
+
+    fn set_vm_weight(state: &mut PlatformState, vm: VmId, weight: f64) -> Result<(), StateError> {
+        let rip = state
+            .rip_of_vm(vm)
+            .ok_or(StateError::Vm(vmm::VmError::UnknownVm(vm)))?;
+        let rec = *state.rip(rip)?;
+        let switch = state.vip(rec.vip)?.switch;
+        state.switches[switch.0 as usize].set_rip_weight(rec.vip, rip, weight)?;
+        Ok(())
+    }
+
+    /// §IV.F: apply pod-relative weights under `vip`, rescaled so the
+    /// pod's total weight under that VIP is unchanged.
+    fn adjust_pod_weights(
+        state: &mut PlatformState,
+        pod: PodId,
+        vip: VipAddr,
+        weights: &[(VmId, f64)],
+    ) -> Result<(), StateError> {
+        let switch = state.vip(vip)?.switch;
+        // Current total pod weight under this VIP.
+        let cfg = state.switches[switch.0 as usize].vip(vip)?.clone();
+        let mut pod_total = 0.0;
+        let mut pod_rips = Vec::new();
+        for entry in &cfg.rips {
+            let rec = *state.rip(entry.rip)?;
+            let srv = state.fleet.locate(rec.vm)?;
+            if state.pod_of(srv) == pod {
+                pod_total += entry.weight;
+                pod_rips.push((rec.vm, entry.rip));
+            }
+        }
+        // Validate the request covers exactly the pod's VMs under the VIP.
+        for &(vm, _) in weights {
+            if !pod_rips.iter().any(|&(v, _)| v == vm) {
+                return Err(StateError::Vm(vmm::VmError::UnknownVm(vm)));
+            }
+        }
+        let requested_total: f64 = weights.iter().map(|&(_, w)| w.max(0.0)).sum();
+        if requested_total <= 0.0 || pod_total <= 0.0 {
+            return Ok(()); // nothing meaningful to rescale
+        }
+        let scale = pod_total / requested_total;
+        for &(vm, w) in weights {
+            let rip = pod_rips.iter().find(|&&(v, _)| v == vm).expect("validated").1;
+            state.switches[switch.0 as usize].set_rip_weight(vip, rip, w.max(0.0) * scale)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformConfig;
+    use vmm::ServerId;
+
+    fn state() -> PlatformState {
+        let mut st = PlatformState::new(PlatformConfig::small_test());
+        for rank in 0..st.config.num_apps {
+            st.register_app(rank);
+        }
+        st
+    }
+
+    #[test]
+    fn new_vip_lands_on_least_loaded_switch() {
+        let mut st = state();
+        let mut mgr = VipRipManager::new();
+        // Preload switch 0 with a VIP so switch 1 is emptier.
+        st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        mgr.submit(Priority::Normal, Request::NewVip { app: AppId(1) });
+        let out = mgr.process_all(&mut st);
+        assert_eq!(out.len(), 1);
+        match out[0].1 {
+            Response::VipAllocated(_, sw) => assert_eq!(sw, SwitchId(1)),
+            ref r => panic!("unexpected {r:?}"),
+        }
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn new_rip_requires_app_vip() {
+        let mut st = state();
+        let mut mgr = VipRipManager::new();
+        let vm = st
+            .fleet
+            .create_vm_running(ServerId(0), 0, st.config.vm_cpu_slice, st.config.vm_mem_mb)
+            .unwrap();
+        // No VIP for app 0 yet: must fail.
+        mgr.submit(Priority::Normal, Request::NewRip { app: AppId(0), vm, weight: 1.0 });
+        let out = mgr.process_all(&mut st);
+        assert!(matches!(out[0].1, Response::Failed(_)));
+        assert_eq!(mgr.failed(), 1);
+        // Allocate a VIP, retry: succeeds.
+        st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        mgr.submit(Priority::Normal, Request::NewRip { app: AppId(0), vm, weight: 1.0 });
+        let out = mgr.process_all(&mut st);
+        assert!(matches!(out[0].1, Response::RipBound(_, _)));
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn priority_order_then_fifo() {
+        let mut st = state();
+        let mut mgr = VipRipManager::new();
+        mgr.submit(Priority::Low, Request::NewVip { app: AppId(0) });
+        mgr.submit(Priority::Normal, Request::NewVip { app: AppId(1) });
+        mgr.submit(Priority::High, Request::NewVip { app: AppId(2) });
+        mgr.submit(Priority::High, Request::NewVip { app: AppId(3) });
+        let out = mgr.process_all(&mut st);
+        let order: Vec<AppId> = out
+            .iter()
+            .map(|(req, _)| match req {
+                Request::NewVip { app } => *app,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![AppId(2), AppId(3), AppId(1), AppId(0)]);
+    }
+
+    #[test]
+    fn set_weight_via_manager() {
+        let mut st = state();
+        let mut mgr = VipRipManager::new();
+        let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        let (vm, rip) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
+        mgr.submit(Priority::High, Request::SetWeight { vm, weight: 5.0 });
+        let out = mgr.process_all(&mut st);
+        assert_eq!(out[0].1, Response::Done);
+        let w = st.switches[0].vip(vip).unwrap().rips.iter().find(|r| r.rip == rip).unwrap().weight;
+        assert!((w - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pod_weight_adjustment_preserves_pod_total() {
+        let mut st = state();
+        let mut mgr = VipRipManager::new();
+        let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        // Two VMs in pod 0 (servers 0 and 2), one in pod 1 (server 1).
+        let (vm_a, _) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
+        let (vm_b, _) = st.add_instance_running(AppId(0), ServerId(2), vip, 3.0).unwrap();
+        let (_vm_c, rip_c) = st.add_instance_running(AppId(0), ServerId(1), vip, 2.0).unwrap();
+        // Pod 0 total = 4.0. Request relative weights 1:1 → 2.0 each.
+        mgr.submit(
+            Priority::Normal,
+            Request::AdjustPodWeights {
+                pod: PodId(0),
+                vip,
+                weights: vec![(vm_a, 1.0), (vm_b, 1.0)],
+            },
+        );
+        let out = mgr.process_all(&mut st);
+        assert_eq!(out[0].1, Response::Done);
+        let cfg = st.switches[0].vip(vip).unwrap();
+        let total_pod0: f64 = cfg
+            .rips
+            .iter()
+            .filter(|r| r.rip != rip_c)
+            .map(|r| r.weight)
+            .sum();
+        assert!((total_pod0 - 4.0).abs() < 1e-9, "pod total changed: {total_pod0}");
+        // Other pod untouched.
+        let w_c = cfg.rips.iter().find(|r| r.rip == rip_c).unwrap().weight;
+        assert!((w_c - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pod_weight_adjustment_rejects_foreign_vm() {
+        let mut st = state();
+        let mut mgr = VipRipManager::new();
+        let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        let (_vm_a, _) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
+        let (vm_pod1, _) = st.add_instance_running(AppId(0), ServerId(1), vip, 1.0).unwrap();
+        // vm_pod1 is in pod 1, not pod 0: request must fail.
+        mgr.submit(
+            Priority::Normal,
+            Request::AdjustPodWeights { pod: PodId(0), vip, weights: vec![(vm_pod1, 1.0)] },
+        );
+        let out = mgr.process_all(&mut st);
+        assert!(matches!(out[0].1, Response::Failed(_)));
+    }
+
+    #[test]
+    fn delete_rip_removes_instance() {
+        let mut st = state();
+        let mut mgr = VipRipManager::new();
+        let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        let (vm, _) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
+        mgr.submit(Priority::Low, Request::DeleteRip { vm });
+        let out = mgr.process_all(&mut st);
+        assert_eq!(out[0].1, Response::Done);
+        assert_eq!(st.num_rips(), 0);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn rips_spread_across_app_vips() {
+        let mut st = state();
+        let mut mgr = VipRipManager::new();
+        let _v0 = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
+        let _v1 = st.allocate_vip(AppId(0), SwitchId(1)).unwrap();
+        for i in 0..4 {
+            let vm = st
+                .fleet
+                .create_vm_running(ServerId(i), 0, st.config.vm_cpu_slice, st.config.vm_mem_mb)
+                .unwrap();
+            mgr.submit(Priority::Normal, Request::NewRip { app: AppId(0), vm, weight: 1.0 });
+        }
+        mgr.process_all(&mut st);
+        // Both switches should host 2 RIPs each (tie-broken by occupancy).
+        assert_eq!(st.switches[0].rip_count(), 2);
+        assert_eq!(st.switches[1].rip_count(), 2);
+        st.assert_invariants();
+    }
+}

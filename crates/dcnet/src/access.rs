@@ -1,0 +1,226 @@
+//! The access connection layer (§III, §IV.A).
+//!
+//! A mega data center "typically has multiple Internet access links and
+//! border routers": the DC's border routers connect through *access links*
+//! to the *access routers* (ARs) of the ISPs providing connectivity. Each
+//! access link has a finite capacity and a usage cost (the paper's traffic
+//! engineering goals: avoid overload, and steer traffic among ISPs per
+//! business requirements such as "different link usage costs").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The numeric index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an access link (border router ↔ ISP access router).
+    AccessLinkId,
+    "al"
+);
+id_type!(
+    /// Identifier of an ISP access router.
+    AccessRouterId,
+    "ar"
+);
+id_type!(
+    /// Identifier of a data-center border router.
+    BorderRouterId,
+    "br"
+);
+
+/// One access link: a border router connected to an ISP access router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessLink {
+    /// This link's id.
+    pub id: AccessLinkId,
+    /// The DC-side border router.
+    pub border: BorderRouterId,
+    /// The ISP-side access router.
+    pub access_router: AccessRouterId,
+    /// Link capacity in bits/s.
+    pub capacity_bps: f64,
+    /// Usage cost in currency units per gigabyte carried — drives the
+    /// business side of the paper's traffic engineering goal (ii).
+    pub cost_per_gb: f64,
+}
+
+/// The full access connection layer: border routers, ISP access routers
+/// and the links between them. Border routers and LB switches are fully
+/// interconnected (§III), so any VIP advertised at any access router can be
+/// served by any LB switch; the only constrained resources here are the
+/// access links themselves.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessNetwork {
+    links: Vec<AccessLink>,
+    num_border: u32,
+    num_access_routers: u32,
+}
+
+impl AccessNetwork {
+    /// Empty network; add links with [`AccessNetwork::add_link`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a symmetric network: `n` access links, one per (border
+    /// router, access router) pair, each with capacity `capacity_bps` and
+    /// cost `cost_per_gb`.
+    pub fn symmetric(n: u32, capacity_bps: f64, cost_per_gb: f64) -> Self {
+        let mut net = AccessNetwork::new();
+        for i in 0..n {
+            net.add_link(BorderRouterId(i), AccessRouterId(i), capacity_bps, cost_per_gb);
+        }
+        net
+    }
+
+    /// Add a link and return its id.
+    pub fn add_link(
+        &mut self,
+        border: BorderRouterId,
+        access_router: AccessRouterId,
+        capacity_bps: f64,
+        cost_per_gb: f64,
+    ) -> AccessLinkId {
+        assert!(capacity_bps > 0.0, "access link capacity must be positive");
+        assert!(cost_per_gb >= 0.0);
+        let id = AccessLinkId(self.links.len() as u32);
+        self.num_border = self.num_border.max(border.0 + 1);
+        self.num_access_routers = self.num_access_routers.max(access_router.0 + 1);
+        self.links.push(AccessLink { id, border, access_router, capacity_bps, cost_per_gb });
+        id
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[AccessLink] {
+        &self.links
+    }
+
+    /// Look up one link.
+    pub fn link(&self, id: AccessLinkId) -> &AccessLink {
+        &self.links[id.index()]
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of distinct border routers.
+    pub fn num_border_routers(&self) -> usize {
+        self.num_border as usize
+    }
+
+    /// Number of distinct ISP access routers.
+    pub fn num_access_routers(&self) -> usize {
+        self.num_access_routers as usize
+    }
+
+    /// The links terminating at a given access router (usually exactly one
+    /// in the paper's figure, but multi-homing to an ISP is allowed).
+    pub fn links_at_router(&self, ar: AccessRouterId) -> impl Iterator<Item = &AccessLink> {
+        self.links.iter().filter(move |l| l.access_router == ar)
+    }
+
+    /// Aggregate external capacity of the data center, bits/s.
+    pub fn total_capacity_bps(&self) -> f64 {
+        self.links.iter().map(|l| l.capacity_bps).sum()
+    }
+
+    /// Per-link utilizations for a given per-link load vector (bits/s).
+    /// Values may exceed 1.0 — that is exactly the overload condition the
+    /// control knobs exist to fix; the caller decides what to do with it.
+    pub fn utilizations(&self, load_bps: &[f64]) -> Vec<f64> {
+        assert_eq!(load_bps.len(), self.links.len());
+        self.links
+            .iter()
+            .zip(load_bps)
+            .map(|(l, &load)| load / l.capacity_bps)
+            .collect()
+    }
+
+    /// Total traffic cost rate (currency units per second) for a per-link
+    /// load vector in bits/s.
+    pub fn cost_rate(&self, load_bps: &[f64]) -> f64 {
+        assert_eq!(load_bps.len(), self.links.len());
+        const BITS_PER_GB: f64 = 8e9;
+        self.links
+            .iter()
+            .zip(load_bps)
+            .map(|(l, &load)| l.cost_per_gb * load / BITS_PER_GB)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_network_shape() {
+        let net = AccessNetwork::symmetric(3, 10e9, 0.02);
+        assert_eq!(net.num_links(), 3);
+        assert_eq!(net.num_border_routers(), 3);
+        assert_eq!(net.num_access_routers(), 3);
+        assert!((net.total_capacity_bps() - 30e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn utilization_and_overload() {
+        let net = AccessNetwork::symmetric(2, 10e9, 0.0);
+        let u = net.utilizations(&[5e9, 12e9]);
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_rate_weighs_links() {
+        let mut net = AccessNetwork::new();
+        net.add_link(BorderRouterId(0), AccessRouterId(0), 10e9, 0.10); // expensive
+        net.add_link(BorderRouterId(1), AccessRouterId(1), 10e9, 0.01); // cheap
+        // 8 Gbps = 1 GB/s on each.
+        let c = net.cost_rate(&[8e9, 8e9]);
+        assert!((c - 0.11).abs() < 1e-9);
+    }
+
+    #[test]
+    fn links_at_router_filters() {
+        let mut net = AccessNetwork::new();
+        net.add_link(BorderRouterId(0), AccessRouterId(0), 1e9, 0.0);
+        net.add_link(BorderRouterId(1), AccessRouterId(0), 1e9, 0.0);
+        net.add_link(BorderRouterId(0), AccessRouterId(1), 1e9, 0.0);
+        assert_eq!(net.links_at_router(AccessRouterId(0)).count(), 2);
+        assert_eq!(net.links_at_router(AccessRouterId(1)).count(), 1);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(AccessLinkId(3).to_string(), "al3");
+        assert_eq!(AccessRouterId(1).to_string(), "ar1");
+        assert_eq!(BorderRouterId(0).to_string(), "br0");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        AccessNetwork::new().add_link(BorderRouterId(0), AccessRouterId(0), 0.0, 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dcnet — datacenter network substrate
+//!
+//! The paper's architecture leans on two network-side assumptions, both of
+//! which this crate implements:
+//!
+//! 1. **Modern intra-DC fabrics** (§III.B, refs \[2\]\[8\]\[17\]): fat-tree
+//!    and VL2 topologies that guarantee bandwidth between any host pair and
+//!    give a flat address space, so LB switches placed at the access network
+//!    can reach *any* server. [`fattree::FatTree`] and [`vl2::Vl2`] build
+//!    those topologies and expose the hose-model capacity guarantees the
+//!    paper relies on; [`maxmin`] provides the flow-level max-min fair
+//!    bandwidth allocator used to check utilization claims (E9).
+//! 2. **The access connection layer** (§IV.A): border routers connected
+//!    through access links to ISP access routers, with BGP-like route
+//!    advertisement ([`routing::RouteTable`]) including padded-AS-path
+//!    drain, withdrawal, convergence delay, and route-update accounting —
+//!    the quantities compared between *selective VIP exposure* and naive
+//!    VIP re-advertisement (E3).
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod fattree;
+pub mod maxmin;
+pub mod routing;
+pub mod topology;
+pub mod vl2;
+
+pub use access::{AccessLink, AccessLinkId, AccessNetwork, AccessRouterId, BorderRouterId};
+pub use topology::Topology;

@@ -1,0 +1,304 @@
+//! Max-min fair flow bandwidth allocation (progressive filling).
+//!
+//! The flow-level model for checking the paper's capacity claims: given a
+//! set of flows, each with a demand and a path (set of constrained links),
+//! and per-link capacities, compute the max-min fair rate of every flow.
+//! We use the classic progressive-filling algorithm: all unfrozen flows are
+//! raised at the same rate; a flow freezes when it reaches its demand or
+//! when one of its links saturates.
+//!
+//! Only *constrained* links need to appear on a path — in the megadc model
+//! these are host NICs, LB switch capacities and access links; the fat-tree
+//! /VL2 core is non-blocking (§III.B) and never appears.
+
+/// A flow to be allocated: a demand in bits/s and the indices of the
+/// constrained links it traverses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// Offered load of this flow, bits/s.
+    pub demand_bps: f64,
+    /// Indices into the link-capacity array of every constrained link on
+    /// the flow's path. May be empty (an unconstrained flow gets its full
+    /// demand). Duplicate indices are allowed and count once.
+    pub links: Vec<usize>,
+}
+
+impl Flow {
+    /// Convenience constructor.
+    pub fn new(demand_bps: f64, links: impl Into<Vec<usize>>) -> Self {
+        let mut links = links.into();
+        links.sort_unstable();
+        links.dedup();
+        Flow { demand_bps, links }
+    }
+}
+
+/// Result of a max-min allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Allocated rate per flow, bits/s (same order as the input flows).
+    pub rates_bps: Vec<f64>,
+    /// Residual (unserved) demand per flow, bits/s.
+    pub unserved_bps: Vec<f64>,
+    /// Utilization of each link in `[0, 1]`.
+    pub link_utilization: Vec<f64>,
+}
+
+impl Allocation {
+    /// Total allocated throughput across all flows.
+    pub fn total_throughput_bps(&self) -> f64 {
+        self.rates_bps.iter().sum()
+    }
+
+    /// Total unserved demand across all flows.
+    pub fn total_unserved_bps(&self) -> f64 {
+        self.unserved_bps.iter().sum()
+    }
+}
+
+/// Compute the max-min fair allocation of `flows` over links with the
+/// given capacities (bits/s).
+///
+/// # Panics
+/// Panics on negative demands/capacities or on a link index out of range.
+pub fn max_min_allocate(link_caps_bps: &[f64], flows: &[Flow]) -> Allocation {
+    for &c in link_caps_bps {
+        assert!(c >= 0.0 && c.is_finite(), "link capacity must be finite and >= 0");
+    }
+    for f in flows {
+        assert!(f.demand_bps >= 0.0 && f.demand_bps.is_finite(), "flow demand must be finite and >= 0");
+        for &l in &f.links {
+            assert!(l < link_caps_bps.len(), "link index {l} out of range");
+        }
+    }
+
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    let mut active: Vec<bool> = flows.iter().map(|f| f.demand_bps > 0.0).collect();
+    let mut residual: Vec<f64> = link_caps_bps.to_vec();
+    // Per-link count of active flows.
+    let mut active_on_link = vec![0usize; link_caps_bps.len()];
+    for (i, f) in flows.iter().enumerate() {
+        if active[i] {
+            for &l in &f.links {
+                active_on_link[l] += 1;
+            }
+        }
+    }
+
+    const EPS: f64 = 1e-9;
+    loop {
+        // The rate increment every active flow can still receive: limited
+        // by the tightest link fair share and by the smallest remaining
+        // per-flow demand headroom.
+        let mut delta = f64::INFINITY;
+        let mut any_active = false;
+        for (i, f) in flows.iter().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            any_active = true;
+            delta = delta.min(f.demand_bps - rates[i]);
+        }
+        if !any_active {
+            break;
+        }
+        for (l, &r) in residual.iter().enumerate() {
+            if active_on_link[l] > 0 {
+                delta = delta.min(r / active_on_link[l] as f64);
+            }
+        }
+        debug_assert!(delta.is_finite());
+        let delta = delta.max(0.0);
+
+        // Apply the increment.
+        for (i, f) in flows.iter().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            rates[i] += delta;
+            for &l in &f.links {
+                residual[l] -= delta;
+            }
+        }
+
+        // Freeze flows that reached demand or hit a saturated link.
+        for (i, f) in flows.iter().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            let done = rates[i] + EPS >= flows[i].demand_bps
+                || f.links.iter().any(|&l| residual[l] <= EPS * link_caps_bps[l].max(1.0));
+            if done {
+                active[i] = false;
+                for &l in &f.links {
+                    active_on_link[l] -= 1;
+                }
+            }
+        }
+        if delta == 0.0 {
+            // All remaining active flows are on zero-capacity links; the
+            // freeze pass above has removed them. Guard against livelock.
+            debug_assert!(active.iter().all(|&a| !a));
+            break;
+        }
+    }
+
+    let unserved: Vec<f64> = flows
+        .iter()
+        .zip(&rates)
+        .map(|(f, &r)| (f.demand_bps - r).max(0.0))
+        .collect();
+    let utilization: Vec<f64> = link_caps_bps
+        .iter()
+        .zip(&residual)
+        .map(|(&c, &r)| if c > 0.0 { ((c - r) / c).clamp(0.0, 1.0) } else { 0.0 })
+        .collect();
+    Allocation { rates_bps: rates, unserved_bps: unserved, link_utilization: utilization }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TOL: f64 = 1e-6;
+
+    #[test]
+    fn unconstrained_flow_gets_demand() {
+        let a = max_min_allocate(&[], &[Flow::new(5e9, [])]);
+        assert!((a.rates_bps[0] - 5e9).abs() < TOL);
+        assert_eq!(a.total_unserved_bps(), 0.0);
+    }
+
+    #[test]
+    fn equal_split_on_shared_bottleneck() {
+        // Two 10 Gbps demands share one 10 Gbps link → 5 Gbps each.
+        let a = max_min_allocate(&[10e9], &[Flow::new(10e9, [0]), Flow::new(10e9, [0])]);
+        assert!((a.rates_bps[0] - 5e9).abs() < TOL);
+        assert!((a.rates_bps[1] - 5e9).abs() < TOL);
+        assert!((a.link_utilization[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_flow_leaves_room_for_big() {
+        // Classic max-min: demands 2 and 8 over a 6 link → 2 and 4.
+        let a = max_min_allocate(&[6.0], &[Flow::new(2.0, [0]), Flow::new(8.0, [0])]);
+        assert!((a.rates_bps[0] - 2.0).abs() < TOL);
+        assert!((a.rates_bps[1] - 4.0).abs() < TOL);
+    }
+
+    #[test]
+    fn multi_link_bottleneck_chain() {
+        // Flow A over links 0,1; flow B over link 0; flow C over link 1.
+        // caps: link0 = 2, link1 = 4. Fair shares: A limited by link0 to 1,
+        // B gets remaining 1 on link0... progressive filling: raise all to
+        // 1 (link0 saturates with A+B), freeze A and B, C continues to 3.
+        let flows = [Flow::new(10.0, vec![0, 1]), Flow::new(10.0, vec![0]), Flow::new(10.0, vec![1])];
+        let a = max_min_allocate(&[2.0, 4.0], &flows);
+        assert!((a.rates_bps[0] - 1.0).abs() < TOL);
+        assert!((a.rates_bps[1] - 1.0).abs() < TOL);
+        assert!((a.rates_bps[2] - 3.0).abs() < TOL);
+    }
+
+    #[test]
+    fn zero_capacity_link_starves_flow() {
+        let a = max_min_allocate(&[0.0], &[Flow::new(5.0, [0])]);
+        assert_eq!(a.rates_bps[0], 0.0);
+        assert!((a.unserved_bps[0] - 5.0).abs() < TOL);
+    }
+
+    #[test]
+    fn zero_demand_flow_is_inert() {
+        let a = max_min_allocate(&[10.0], &[Flow::new(0.0, [0]), Flow::new(20.0, [0])]);
+        assert_eq!(a.rates_bps[0], 0.0);
+        assert!((a.rates_bps[1] - 10.0).abs() < TOL);
+    }
+
+    #[test]
+    fn duplicate_link_indices_count_once() {
+        let f = Flow::new(10.0, vec![0, 0, 0]);
+        assert_eq!(f.links, vec![0]);
+        let a = max_min_allocate(&[4.0], &[f]);
+        assert!((a.rates_bps[0] - 4.0).abs() < TOL);
+    }
+
+    fn arb_scenario() -> impl Strategy<Value = (Vec<f64>, Vec<Flow>)> {
+        let caps = proptest::collection::vec(0.0f64..100.0, 1..6);
+        caps.prop_flat_map(|caps| {
+            let nl = caps.len();
+            let flows = proptest::collection::vec(
+                (0.0f64..50.0, proptest::collection::vec(0..nl, 0..=nl)),
+                1..12,
+            )
+            .prop_map(|fs| fs.into_iter().map(|(d, ls)| Flow::new(d, ls)).collect::<Vec<_>>());
+            (Just(caps), flows)
+        })
+    }
+
+    proptest! {
+        /// No link is over capacity and no flow exceeds its demand.
+        #[test]
+        fn prop_feasible((caps, flows) in arb_scenario()) {
+            let a = max_min_allocate(&caps, &flows);
+            for (i, f) in flows.iter().enumerate() {
+                prop_assert!(a.rates_bps[i] <= f.demand_bps + 1e-6);
+                prop_assert!(a.rates_bps[i] >= -1e-9);
+            }
+            for (l, &cap) in caps.iter().enumerate() {
+                let load: f64 = flows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.links.contains(&l))
+                    .map(|(i, _)| a.rates_bps[i])
+                    .sum();
+                prop_assert!(load <= cap + 1e-5, "link {l}: load {load} > cap {cap}");
+            }
+        }
+
+        /// Max-min property: every flow below its demand has a saturated
+        /// link on which no other flow has a strictly larger rate.
+        #[test]
+        fn prop_maxmin_bottleneck((caps, flows) in arb_scenario()) {
+            let a = max_min_allocate(&caps, &flows);
+            for (i, f) in flows.iter().enumerate() {
+                if a.rates_bps[i] + 1e-5 >= f.demand_bps || f.links.is_empty() {
+                    continue;
+                }
+                let has_bottleneck = f.links.iter().any(|&l| {
+                    let load: f64 = flows
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, g)| g.links.contains(&l))
+                        .map(|(j, _)| a.rates_bps[j])
+                        .sum();
+                    let saturated = load + 1e-4 >= caps[l];
+                    let i_is_max = flows
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, g)| g.links.contains(&l))
+                        .all(|(j, _)| a.rates_bps[j] <= a.rates_bps[i] + 1e-4);
+                    saturated && i_is_max
+                });
+                prop_assert!(
+                    has_bottleneck,
+                    "flow {i} (rate {}) below demand {} without a bottleneck",
+                    a.rates_bps[i], f.demand_bps
+                );
+            }
+        }
+
+        /// Work conservation: total throughput equals total demand when
+        /// capacity is plentiful.
+        #[test]
+        fn prop_work_conserving_when_uncongested(
+            demands in proptest::collection::vec(0.0f64..10.0, 1..10)
+        ) {
+            let flows: Vec<Flow> =
+                demands.iter().map(|&d| Flow::new(d, vec![0])).collect();
+            let total: f64 = demands.iter().sum();
+            let a = max_min_allocate(&[total + 1.0], &flows);
+            prop_assert!((a.total_throughput_bps() - total).abs() < 1e-5);
+        }
+    }
+}

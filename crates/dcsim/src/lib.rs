@@ -1,0 +1,29 @@
+//! # dcsim — simulation kernel for the `megadc` workspace
+//!
+//! This crate provides the substrate every other crate in the workspace
+//! builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer microsecond simulation time,
+//!   so event ordering is exact and reproducible (no floating-point clock).
+//! * [`EventQueue`] — a time-ordered queue with stable FIFO tie-breaking,
+//!   the core of the discrete-event loop.
+//! * [`rng`] — deterministic derivation of per-component random streams
+//!   from a single experiment seed, so simulations are reproducible
+//!   bit-for-bit regardless of component iteration order.
+//! * [`metrics`] — counters, gauges, time series and histograms used by the
+//!   experiment harness, plus percentile summaries.
+//! * [`table`] — plain-text / CSV table rendering for experiment output.
+//!
+//! The kernel is intentionally free of any datacenter semantics; it knows
+//! nothing about switches, pods or VIPs.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod queue;
+pub mod rng;
+pub mod table;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use time::{SimDuration, SimTime};

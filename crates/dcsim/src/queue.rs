@@ -1,0 +1,241 @@
+//! Time-ordered event queue with stable FIFO tie-breaking.
+//!
+//! The queue is the heart of the discrete-event loop: components schedule
+//! events at future instants, and the driver repeatedly pops the earliest
+//! event. Two events scheduled for the same instant are delivered in the
+//! order they were scheduled (FIFO), which — together with integer
+//! [`SimTime`] — makes whole-simulation replay exact.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: payload `E` due at `at`, with an insertion sequence
+/// number used for the FIFO tie-break.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, on ties,
+        // the first-scheduled) entry is at the top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// ```
+/// use dcsim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "late");
+/// q.schedule(SimTime::from_secs(1), "early");
+/// q.schedule(SimTime::from_secs(1), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event
+    /// (or zero if nothing has been popped yet).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time — scheduling into
+    /// the past is always a simulation bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} before current time {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Pop the earliest event only if it is due at or before `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drop all pending events (the clock is unchanged).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), 3);
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(3), "b");
+        assert_eq!(q.pop_before(SimTime::from_secs(2)), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop_before(SimTime::from_secs(2)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(4), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        // Now at t=1; schedule something between 1 and 4.
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+
+    proptest! {
+        /// Popping always yields non-decreasing timestamps, and ties come
+        /// out in insertion order.
+        #[test]
+        fn prop_pops_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(idx > lidx, "FIFO violated on tie");
+                    }
+                }
+                last = Some((t, idx));
+            }
+        }
+
+        /// The queue never loses or duplicates events.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some((_, idx)) = q.pop() {
+                prop_assert!(!seen[idx], "duplicate event");
+                seen[idx] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s), "lost event");
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! The LB switch: VIP/RIP tables, connection tracking and capacity.
+
+use crate::limits::SwitchLimits;
+use crate::policy::{pick_least_connections, pick_source_hash, split_by_weight, Policy, WrrState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an LB switch in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+/// A virtual IP address: the externally visible address of an application
+/// (§II). Opaque index into the platform's VIP address pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VipAddr(pub u32);
+
+/// A real IP address: the internal address of one VM instance (§II; "can
+/// be taken from a private address space such as the 10.0.0.0/8 block").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RipAddr(pub u32);
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lb{}", self.0)
+    }
+}
+impl fmt::Display for VipAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vip{}", self.0)
+    }
+}
+impl fmt::Display for RipAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rip{}", self.0)
+    }
+}
+
+/// Errors from switch configuration and data-path operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The switch already holds `max_vips` VIPs.
+    VipLimitExceeded,
+    /// The switch already holds `max_rips` RIP entries.
+    RipLimitExceeded,
+    /// The VIP is not configured on this switch.
+    UnknownVip(VipAddr),
+    /// The RIP is not configured under that VIP.
+    UnknownRip(VipAddr, RipAddr),
+    /// The VIP is already configured on this switch.
+    DuplicateVip(VipAddr),
+    /// The RIP is already configured under that VIP.
+    DuplicateRip(VipAddr, RipAddr),
+    /// The switch is tracking `max_connections` sessions already.
+    ConnectionLimitExceeded,
+    /// The VIP still has live sessions; it cannot be removed/transferred
+    /// (§IV.B: only the original switch knows the session→RIP mapping).
+    NotQuiescent(VipAddr, u64),
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::VipLimitExceeded => write!(f, "VIP table full"),
+            SwitchError::RipLimitExceeded => write!(f, "RIP table full"),
+            SwitchError::UnknownVip(v) => write!(f, "unknown {v}"),
+            SwitchError::UnknownRip(v, r) => write!(f, "unknown {r} under {v}"),
+            SwitchError::DuplicateVip(v) => write!(f, "{v} already configured"),
+            SwitchError::DuplicateRip(v, r) => write!(f, "{r} already configured under {v}"),
+            SwitchError::ConnectionLimitExceeded => write!(f, "connection table full"),
+            SwitchError::NotQuiescent(v, n) => write!(f, "{v} has {n} live sessions"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// One RIP entry under a VIP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RipEntry {
+    /// The real IP address.
+    pub rip: RipAddr,
+    /// Load-balancing weight (§IV.F). Non-negative; 0 = drained.
+    pub weight: f64,
+    /// Live sessions currently pinned to this RIP.
+    pub active_conns: u64,
+}
+
+/// Per-VIP configuration on a switch.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VipConfig {
+    /// RIP entries in configuration order.
+    pub rips: Vec<RipEntry>,
+    /// Selection discipline for new sessions.
+    pub policy: Policy,
+    /// Offered external load for this VIP, bits/s (set by the fluid model
+    /// each epoch).
+    pub offered_bps: f64,
+    #[serde(skip)]
+    wrr: WrrState,
+}
+
+impl VipConfig {
+    fn weights(&self) -> Vec<f64> {
+        self.rips.iter().map(|r| r.weight).collect()
+    }
+
+    /// Live sessions across all RIPs of this VIP.
+    pub fn active_conns(&self) -> u64 {
+        self.rips.iter().map(|r| r.active_conns).sum()
+    }
+}
+
+/// A load-balancing switch.
+///
+/// The switch is a pure mechanism: it enforces its own hard limits and
+/// tracks sessions, but all *policy* (which VIP goes where, what the
+/// weights should be) lives in the managers of the `megadc` crate, exactly
+/// as in the paper where the global manager mediates every configuration
+/// change (§III.C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LbSwitch {
+    id: SwitchId,
+    limits: SwitchLimits,
+    vips: BTreeMap<VipAddr, VipConfig>,
+    rip_total: usize,
+    total_conns: u64,
+}
+
+impl LbSwitch {
+    /// Create a switch with the given limits.
+    pub fn new(id: SwitchId, limits: SwitchLimits) -> Self {
+        limits.validate();
+        LbSwitch { id, limits, vips: BTreeMap::new(), rip_total: 0, total_conns: 0 }
+    }
+
+    /// This switch's id.
+    pub fn id(&self) -> SwitchId {
+        self.id
+    }
+
+    /// The switch's capacity limits.
+    pub fn limits(&self) -> &SwitchLimits {
+        &self.limits
+    }
+
+    /// Number of configured VIPs.
+    pub fn vip_count(&self) -> usize {
+        self.vips.len()
+    }
+
+    /// Number of configured RIP entries across all VIPs.
+    pub fn rip_count(&self) -> usize {
+        self.rip_total
+    }
+
+    /// Free VIP table slots.
+    pub fn vip_slots_free(&self) -> usize {
+        self.limits.max_vips - self.vips.len()
+    }
+
+    /// Free RIP table slots.
+    pub fn rip_slots_free(&self) -> usize {
+        self.limits.max_rips - self.rip_total
+    }
+
+    /// `true` if `vip` is configured here.
+    pub fn has_vip(&self, vip: VipAddr) -> bool {
+        self.vips.contains_key(&vip)
+    }
+
+    /// Iterate over configured VIPs.
+    pub fn vips(&self) -> impl Iterator<Item = (VipAddr, &VipConfig)> {
+        self.vips.iter().map(|(&v, c)| (v, c))
+    }
+
+    /// Configuration of one VIP.
+    pub fn vip(&self, vip: VipAddr) -> Result<&VipConfig, SwitchError> {
+        self.vips.get(&vip).ok_or(SwitchError::UnknownVip(vip))
+    }
+
+    // ---- configuration plane -------------------------------------------
+
+    /// Configure a new VIP (with no RIPs yet).
+    pub fn add_vip(&mut self, vip: VipAddr) -> Result<(), SwitchError> {
+        if self.vips.contains_key(&vip) {
+            return Err(SwitchError::DuplicateVip(vip));
+        }
+        if self.vips.len() >= self.limits.max_vips {
+            return Err(SwitchError::VipLimitExceeded);
+        }
+        self.vips.insert(vip, VipConfig::default());
+        Ok(())
+    }
+
+    /// Remove a **quiescent** VIP, returning its RIP entries so the caller
+    /// can reinstall them on another switch (dynamic VIP transfer, §IV.B).
+    pub fn remove_vip(&mut self, vip: VipAddr) -> Result<Vec<RipEntry>, SwitchError> {
+        let cfg = self.vips.get(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let live = cfg.active_conns();
+        if live > 0 {
+            return Err(SwitchError::NotQuiescent(vip, live));
+        }
+        let cfg = self.vips.remove(&vip).expect("checked above");
+        self.rip_total -= cfg.rips.len();
+        Ok(cfg.rips)
+    }
+
+    /// Remove a VIP regardless of live sessions, dropping them. Returns
+    /// `(rip entries, dropped session count)`. This is the disruptive path
+    /// the quiescence-gated transfer exists to avoid.
+    pub fn force_remove_vip(&mut self, vip: VipAddr) -> Result<(Vec<RipEntry>, u64), SwitchError> {
+        let cfg = self.vips.remove(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let dropped = cfg.active_conns();
+        self.total_conns -= dropped;
+        self.rip_total -= cfg.rips.len();
+        let mut rips = cfg.rips;
+        for r in &mut rips {
+            r.active_conns = 0;
+        }
+        Ok((rips, dropped))
+    }
+
+    /// Add a RIP under a VIP with the given weight.
+    pub fn add_rip(&mut self, vip: VipAddr, rip: RipAddr, weight: f64) -> Result<(), SwitchError> {
+        assert!(weight >= 0.0 && weight.is_finite(), "weight must be finite and >= 0");
+        if self.rip_total >= self.limits.max_rips {
+            return Err(SwitchError::RipLimitExceeded);
+        }
+        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        if cfg.rips.iter().any(|r| r.rip == rip) {
+            return Err(SwitchError::DuplicateRip(vip, rip));
+        }
+        cfg.rips.push(RipEntry { rip, weight, active_conns: 0 });
+        self.rip_total += 1;
+        Ok(())
+    }
+
+    /// Remove a RIP from a VIP. Any sessions still pinned to it are
+    /// dropped; the count is returned (0 when gracefully drained first).
+    pub fn remove_rip(&mut self, vip: VipAddr, rip: RipAddr) -> Result<u64, SwitchError> {
+        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let pos = cfg
+            .rips
+            .iter()
+            .position(|r| r.rip == rip)
+            .ok_or(SwitchError::UnknownRip(vip, rip))?;
+        let entry = cfg.rips.remove(pos);
+        self.rip_total -= 1;
+        self.total_conns -= entry.active_conns;
+        Ok(entry.active_conns)
+    }
+
+    /// Set the weight of one RIP (§IV.F — the fast knob).
+    pub fn set_rip_weight(&mut self, vip: VipAddr, rip: RipAddr, weight: f64) -> Result<(), SwitchError> {
+        assert!(weight >= 0.0 && weight.is_finite(), "weight must be finite and >= 0");
+        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let entry = cfg
+            .rips
+            .iter_mut()
+            .find(|r| r.rip == rip)
+            .ok_or(SwitchError::UnknownRip(vip, rip))?;
+        entry.weight = weight;
+        Ok(())
+    }
+
+    /// Set the selection policy for a VIP.
+    pub fn set_policy(&mut self, vip: VipAddr, policy: Policy) -> Result<(), SwitchError> {
+        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        cfg.policy = policy;
+        Ok(())
+    }
+
+    // ---- session plane --------------------------------------------------
+
+    /// `true` if the VIP has no live sessions — the §IV.B precondition for
+    /// transferring it to another switch.
+    pub fn is_quiescent(&self, vip: VipAddr) -> Result<bool, SwitchError> {
+        Ok(self.vip(vip)?.active_conns() == 0)
+    }
+
+    /// Total live sessions on the switch.
+    pub fn total_conns(&self) -> u64 {
+        self.total_conns
+    }
+
+    /// Select a RIP for a new session on `vip` per the VIP's policy and
+    /// open the session. `client_key` seeds source-hash selection.
+    pub fn open_session(&mut self, vip: VipAddr, client_key: u64) -> Result<RipAddr, SwitchError> {
+        if self.total_conns >= self.limits.max_connections {
+            return Err(SwitchError::ConnectionLimitExceeded);
+        }
+        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let weights = cfg.weights();
+        let idx = match cfg.policy {
+            Policy::WeightedRoundRobin => cfg.wrr.pick(&weights),
+            Policy::WeightedLeastConnections => {
+                let conns: Vec<u64> = cfg.rips.iter().map(|r| r.active_conns).collect();
+                pick_least_connections(&weights, &conns)
+            }
+            Policy::SourceHash => pick_source_hash(&weights, client_key),
+        };
+        let idx = idx.ok_or(SwitchError::UnknownRip(vip, RipAddr(u32::MAX)))?;
+        cfg.rips[idx].active_conns += 1;
+        self.total_conns += 1;
+        Ok(cfg.rips[idx].rip)
+    }
+
+    /// Close a session previously opened on `(vip, rip)`.
+    pub fn close_session(&mut self, vip: VipAddr, rip: RipAddr) -> Result<(), SwitchError> {
+        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let entry = cfg
+            .rips
+            .iter_mut()
+            .find(|r| r.rip == rip)
+            .ok_or(SwitchError::UnknownRip(vip, rip))?;
+        assert!(entry.active_conns > 0, "closing a session that was never opened");
+        entry.active_conns -= 1;
+        self.total_conns -= 1;
+        Ok(())
+    }
+
+    // ---- fluid data plane ------------------------------------------------
+
+    /// Set the offered external load of one VIP for this epoch (bits/s).
+    pub fn set_offered_load(&mut self, vip: VipAddr, bps: f64) -> Result<(), SwitchError> {
+        assert!(bps >= 0.0 && bps.is_finite());
+        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        cfg.offered_bps = bps;
+        Ok(())
+    }
+
+    /// Total offered load across all VIPs, bits/s.
+    pub fn offered_bps(&self) -> f64 {
+        self.vips.values().map(|c| c.offered_bps).sum()
+    }
+
+    /// Load actually served: offered load capped at switch capacity.
+    pub fn served_bps(&self) -> f64 {
+        self.offered_bps().min(self.limits.capacity_bps)
+    }
+
+    /// Throughput utilization in `[0, ∞)`: offered / capacity. Values
+    /// above 1.0 mean the switch is the bottleneck — the condition §IV.B's
+    /// VIP transfer exists to fix.
+    pub fn utilization(&self) -> f64 {
+        self.offered_bps() / self.limits.capacity_bps
+    }
+
+    /// Packet-rate utilization for a given average packet size.
+    pub fn pps_utilization(&self, avg_packet_bytes: f64) -> f64 {
+        assert!(avg_packet_bytes > 0.0);
+        let pps = self.served_bps() / (8.0 * avg_packet_bytes);
+        pps / self.limits.max_pps
+    }
+
+    /// Split one VIP's *served* demand across its RIPs by weight. When the
+    /// switch is over capacity, every VIP is scaled down proportionally
+    /// (the switch drops uniformly).
+    pub fn distribute_vip(&self, vip: VipAddr) -> Result<Vec<(RipAddr, f64)>, SwitchError> {
+        let cfg = self.vip(vip)?;
+        let scale = if self.offered_bps() > self.limits.capacity_bps {
+            self.limits.capacity_bps / self.offered_bps()
+        } else {
+            1.0
+        };
+        let shares = split_by_weight(&cfg.weights(), cfg.offered_bps * scale);
+        Ok(cfg.rips.iter().zip(shares).map(|(r, s)| (r.rip, s)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_switch() -> LbSwitch {
+        let limits = SwitchLimits {
+            max_vips: 3,
+            max_rips: 5,
+            capacity_bps: 4e9,
+            max_pps: 1.25e6,
+            max_connections: 4,
+            ..SwitchLimits::CISCO_CATALYST
+        };
+        LbSwitch::new(SwitchId(0), limits)
+    }
+
+    #[test]
+    fn vip_limit_enforced() {
+        let mut sw = small_switch();
+        for i in 0..3 {
+            sw.add_vip(VipAddr(i)).unwrap();
+        }
+        assert_eq!(sw.add_vip(VipAddr(99)), Err(SwitchError::VipLimitExceeded));
+        assert_eq!(sw.vip_slots_free(), 0);
+    }
+
+    #[test]
+    fn rip_limit_is_global_across_vips() {
+        let mut sw = small_switch();
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.add_vip(VipAddr(1)).unwrap();
+        for i in 0..3 {
+            sw.add_rip(VipAddr(0), RipAddr(i), 1.0).unwrap();
+        }
+        for i in 3..5 {
+            sw.add_rip(VipAddr(1), RipAddr(i), 1.0).unwrap();
+        }
+        assert_eq!(sw.add_rip(VipAddr(1), RipAddr(9), 1.0), Err(SwitchError::RipLimitExceeded));
+        assert_eq!(sw.rip_count(), 5);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut sw = small_switch();
+        sw.add_vip(VipAddr(0)).unwrap();
+        assert_eq!(sw.add_vip(VipAddr(0)), Err(SwitchError::DuplicateVip(VipAddr(0))));
+        sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
+        assert_eq!(
+            sw.add_rip(VipAddr(0), RipAddr(1), 2.0),
+            Err(SwitchError::DuplicateRip(VipAddr(0), RipAddr(1)))
+        );
+    }
+
+    #[test]
+    fn quiescence_gates_vip_removal() {
+        let mut sw = small_switch();
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
+        let rip = sw.open_session(VipAddr(0), 7).unwrap();
+        assert_eq!(rip, RipAddr(1));
+        assert_eq!(sw.remove_vip(VipAddr(0)), Err(SwitchError::NotQuiescent(VipAddr(0), 1)));
+        sw.close_session(VipAddr(0), rip).unwrap();
+        let rips = sw.remove_vip(VipAddr(0)).unwrap();
+        assert_eq!(rips.len(), 1);
+        assert_eq!(sw.rip_count(), 0);
+    }
+
+    #[test]
+    fn force_removal_drops_sessions() {
+        let mut sw = small_switch();
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
+        sw.open_session(VipAddr(0), 1).unwrap();
+        sw.open_session(VipAddr(0), 2).unwrap();
+        let (rips, dropped) = sw.force_remove_vip(VipAddr(0)).unwrap();
+        assert_eq!(dropped, 2);
+        assert_eq!(sw.total_conns(), 0);
+        assert!(rips.iter().all(|r| r.active_conns == 0));
+    }
+
+    #[test]
+    fn connection_limit_enforced() {
+        let mut sw = small_switch();
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
+        for k in 0..4 {
+            sw.open_session(VipAddr(0), k).unwrap();
+        }
+        assert_eq!(sw.open_session(VipAddr(0), 9), Err(SwitchError::ConnectionLimitExceeded));
+    }
+
+    #[test]
+    fn weighted_session_distribution() {
+        let mut sw = LbSwitch::new(SwitchId(0), SwitchLimits::CISCO_CATALYST);
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(1), 3.0).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(2), 1.0).unwrap();
+        let mut counts = (0u32, 0u32);
+        for k in 0..400 {
+            match sw.open_session(VipAddr(0), k).unwrap() {
+                RipAddr(1) => counts.0 += 1,
+                RipAddr(2) => counts.1 += 1,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(counts, (300, 100), "WRR should be exactly proportional");
+    }
+
+    #[test]
+    fn least_connections_policy_fills_unloaded_rip() {
+        let mut sw = LbSwitch::new(SwitchId(0), SwitchLimits::CISCO_CATALYST);
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.set_policy(VipAddr(0), Policy::WeightedLeastConnections).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(2), 1.0).unwrap();
+        // Preload rip1 with sessions via WRR-independent path.
+        assert_eq!(sw.open_session(VipAddr(0), 0).unwrap(), RipAddr(1));
+        assert_eq!(sw.open_session(VipAddr(0), 0).unwrap(), RipAddr(2));
+        assert_eq!(sw.open_session(VipAddr(0), 0).unwrap(), RipAddr(1));
+    }
+
+    #[test]
+    fn fluid_capacity_and_scaling() {
+        let mut sw = LbSwitch::new(SwitchId(0), SwitchLimits::CISCO_CATALYST);
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.add_vip(VipAddr(1)).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
+        sw.add_rip(VipAddr(1), RipAddr(2), 1.0).unwrap();
+        sw.set_offered_load(VipAddr(0), 3e9).unwrap();
+        sw.set_offered_load(VipAddr(1), 3e9).unwrap();
+        assert!((sw.utilization() - 1.5).abs() < 1e-9);
+        assert!((sw.served_bps() - 4e9).abs() < 1.0);
+        // Each VIP is scaled by 4/6.
+        let d = sw.distribute_vip(VipAddr(0)).unwrap();
+        assert!((d[0].1 - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn weight_update_changes_split() {
+        let mut sw = LbSwitch::new(SwitchId(0), SwitchLimits::CISCO_CATALYST);
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(2), 1.0).unwrap();
+        sw.set_offered_load(VipAddr(0), 2e9).unwrap();
+        sw.set_rip_weight(VipAddr(0), RipAddr(2), 3.0).unwrap();
+        let d = sw.distribute_vip(VipAddr(0)).unwrap();
+        assert!((d[0].1 - 0.5e9).abs() < 1.0);
+        assert!((d[1].1 - 1.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn pps_utilization_with_small_packets() {
+        let mut sw = LbSwitch::new(SwitchId(0), SwitchLimits::CISCO_CATALYST);
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.set_offered_load(VipAddr(0), 4e9).unwrap();
+        // 4 Gbps of 400-byte packets = 1.25 Mpps exactly.
+        assert!((sw.pps_utilization(400.0) - 1.0).abs() < 1e-9);
+        // 4 Gbps of 64-byte packets would exceed the pps budget.
+        assert!(sw.pps_utilization(64.0) > 1.0);
+    }
+
+    #[test]
+    fn remove_rip_returns_dropped_sessions() {
+        let mut sw = LbSwitch::new(SwitchId(0), SwitchLimits::CISCO_CATALYST);
+        sw.add_vip(VipAddr(0)).unwrap();
+        sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
+        sw.open_session(VipAddr(0), 0).unwrap();
+        assert_eq!(sw.remove_rip(VipAddr(0), RipAddr(1)).unwrap(), 1);
+        assert_eq!(sw.total_conns(), 0);
+    }
+
+    #[test]
+    fn unknown_targets_error() {
+        let mut sw = small_switch();
+        assert!(matches!(sw.add_rip(VipAddr(9), RipAddr(0), 1.0), Err(SwitchError::UnknownVip(_))));
+        assert!(matches!(sw.set_rip_weight(VipAddr(9), RipAddr(0), 1.0), Err(SwitchError::UnknownVip(_))));
+        sw.add_vip(VipAddr(9)).unwrap();
+        assert!(matches!(
+            sw.set_rip_weight(VipAddr(9), RipAddr(0), 1.0),
+            Err(SwitchError::UnknownRip(_, _))
+        ));
+    }
+}

@@ -1,0 +1,314 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! The load-distribution step of the Tang-style placement controller is a
+//! max-flow computation on the bipartite application↔server graph; Dinic
+//! runs it in `O(E·√V)` on such unit-capacity-ish graphs and `O(V²E)` in
+//! general — the super-linear growth that, repeated over placement rounds,
+//! produces the scalability wall of §I.A.
+
+/// A directed edge in the flow network.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    to: usize,
+    cap: u64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+    /// Original capacity (to report flow).
+    orig: u64,
+}
+
+/// A max-flow problem instance.
+///
+/// ```
+/// use placement::maxflow::FlowNetwork;
+///
+/// let mut net = FlowNetwork::new(4);
+/// let s = 0; let t = 3;
+/// net.add_edge(s, 1, 10);
+/// net.add_edge(s, 2, 10);
+/// net.add_edge(1, 3, 7);
+/// net.add_edge(2, 3, 5);
+/// assert_eq!(net.max_flow(s, t), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<Edge>>,
+    /// (node, index-within-node) of each added edge, in insertion order.
+    edges: Vec<(usize, usize)>,
+}
+
+/// Handle to an edge, for querying its flow after solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(usize);
+
+impl FlowNetwork {
+    /// Create a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { graph: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Number of (forward) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a directed edge `from → to` with the given capacity; returns a
+    /// handle usable with [`FlowNetwork::flow`] after solving.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> EdgeId {
+        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert_ne!(from, to, "self-loops are not allowed");
+        let fwd_idx = self.graph[from].len();
+        let rev_idx = self.graph[to].len();
+        self.graph[from].push(Edge { to, cap, rev: rev_idx, orig: cap });
+        self.graph[to].push(Edge { to: from, cap: 0, rev: fwd_idx, orig: 0 });
+        self.edges.push((from, fwd_idx));
+        EdgeId(self.edges.len() - 1)
+    }
+
+    /// Flow currently carried by an edge (only meaningful after
+    /// [`FlowNetwork::max_flow`]).
+    pub fn flow(&self, id: EdgeId) -> u64 {
+        let (node, idx) = self.edges[id.0];
+        let e = &self.graph[node][idx];
+        e.orig - e.cap
+    }
+
+    /// BFS phase: build the level graph. Returns `true` if `t` is
+    /// reachable.
+    fn bfs(&self, s: usize, t: usize, level: &mut [i32]) -> bool {
+        level.fill(-1);
+        level[s] = 0;
+        let mut queue = std::collections::VecDeque::with_capacity(self.graph.len());
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for e in &self.graph[u] {
+                if e.cap > 0 && level[e.to] < 0 {
+                    level[e.to] = level[u] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        level[t] >= 0
+    }
+
+    /// DFS phase: send blocking flow along the level graph.
+    fn dfs(&mut self, u: usize, t: usize, pushed: u64, level: &[i32], iter: &mut [usize]) -> u64 {
+        if u == t {
+            return pushed;
+        }
+        while iter[u] < self.graph[u].len() {
+            let (to, cap, rev) = {
+                let e = &self.graph[u][iter[u]];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > 0 && level[to] == level[u] + 1 {
+                let d = self.dfs(to, t, pushed.min(cap), level, iter);
+                if d > 0 {
+                    self.graph[u][iter[u]].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+
+    /// Compute the maximum `s → t` flow. May be called once per network
+    /// (capacities are consumed); edge flows are queryable afterwards.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert!(s < self.graph.len() && t < self.graph.len(), "node out of range");
+        assert_ne!(s, t);
+        let n = self.graph.len();
+        let mut flow = 0u64;
+        let mut level = vec![-1i32; n];
+        while self.bfs(s, t, &mut level) {
+            let mut iter = vec![0usize; n];
+            loop {
+                let f = self.dfs(s, t, u64::MAX, &level, &mut iter);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn classic_clrs_network() {
+        // The CLRS example network: max flow 23.
+        let mut net = FlowNetwork::new(6);
+        let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
+        net.add_edge(s, v1, 16);
+        net.add_edge(s, v2, 13);
+        net.add_edge(v1, v3, 12);
+        net.add_edge(v2, v1, 4);
+        net.add_edge(v2, v4, 14);
+        net.add_edge(v3, v2, 9);
+        net.add_edge(v3, t, 20);
+        net.add_edge(v4, v3, 7);
+        net.add_edge(v4, t, 4);
+        assert_eq!(net.max_flow(s, t), 23);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn edge_flow_queries() {
+        let mut net = FlowNetwork::new(4);
+        let a = net.add_edge(0, 1, 10);
+        let b = net.add_edge(0, 2, 10);
+        let c = net.add_edge(1, 3, 4);
+        let d = net.add_edge(2, 3, 9);
+        assert_eq!(net.max_flow(0, 3), 13);
+        assert_eq!(net.flow(a), 4);
+        assert_eq!(net.flow(c), 4);
+        assert_eq!(net.flow(b), 9);
+        assert_eq!(net.flow(d), 9);
+    }
+
+    #[test]
+    fn bipartite_matching() {
+        // 3 apps × 3 servers, unit capacities, perfect matching exists.
+        // nodes: 0 = s, 1..=3 apps, 4..=6 servers, 7 = t.
+        let mut net = FlowNetwork::new(8);
+        for a in 1..=3 {
+            net.add_edge(0, a, 1);
+            net.add_edge(a + 3, 7, 1);
+        }
+        net.add_edge(1, 4, 1);
+        net.add_edge(1, 5, 1);
+        net.add_edge(2, 5, 1);
+        net.add_edge(3, 5, 1);
+        net.add_edge(3, 6, 1);
+        assert_eq!(net.max_flow(0, 7), 3);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 1, 4);
+        assert_eq!(net.max_flow(0, 1), 7);
+    }
+
+    /// Brute-force max-flow via repeated BFS augmentation
+    /// (Edmonds–Karp) for cross-checking on random graphs.
+    fn edmonds_karp(n: usize, edges: &[(usize, usize, u64)], s: usize, t: usize) -> u64 {
+        let mut cap = vec![vec![0u64; n]; n];
+        for &(u, v, c) in edges {
+            cap[u][v] += c;
+        }
+        let mut flow = 0;
+        loop {
+            // BFS for an augmenting path.
+            let mut parent = vec![usize::MAX; n];
+            parent[s] = s;
+            let mut q = std::collections::VecDeque::new();
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                for v in 0..n {
+                    if parent[v] == usize::MAX && cap[u][v] > 0 {
+                        parent[v] = u;
+                        q.push_back(v);
+                    }
+                }
+            }
+            if parent[t] == usize::MAX {
+                return flow;
+            }
+            // Find bottleneck.
+            let mut bottleneck = u64::MAX;
+            let mut v = t;
+            while v != s {
+                let u = parent[v];
+                bottleneck = bottleneck.min(cap[u][v]);
+                v = u;
+            }
+            let mut v = t;
+            while v != s {
+                let u = parent[v];
+                cap[u][v] -= bottleneck;
+                cap[v][u] += bottleneck;
+                v = u;
+            }
+            flow += bottleneck;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_edmonds_karp(
+            n in 2usize..8,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..50), 0..20),
+        ) {
+            let edges: Vec<(usize, usize, u64)> = edges
+                .into_iter()
+                .map(|(u, v, c)| (u % n, v % n, c))
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let mut net = FlowNetwork::new(n);
+            for &(u, v, c) in &edges {
+                net.add_edge(u, v, c);
+            }
+            let dinic = net.max_flow(0, n - 1);
+            let ek = edmonds_karp(n, &edges, 0, n - 1);
+            prop_assert_eq!(dinic, ek);
+        }
+
+        /// Flow conservation at every interior node, and per-edge flow
+        /// within capacity.
+        #[test]
+        fn prop_conservation(
+            n in 3usize..8,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..50), 1..20),
+        ) {
+            let edges: Vec<(usize, usize, u64)> = edges
+                .into_iter()
+                .map(|(u, v, c)| (u % n, v % n, c))
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let mut net = FlowNetwork::new(n);
+            let ids: Vec<EdgeId> = edges.iter().map(|&(u, v, c)| net.add_edge(u, v, c)).collect();
+            let total = net.max_flow(0, n - 1);
+            let mut balance = vec![0i64; n];
+            for (&(u, v, c), &id) in edges.iter().zip(&ids) {
+                let f = net.flow(id);
+                prop_assert!(f <= c);
+                balance[u] -= f as i64;
+                balance[v] += f as i64;
+            }
+            prop_assert_eq!(balance[0], -(total as i64));
+            prop_assert_eq!(balance[n - 1], total as i64);
+            for node in 1..n - 1 {
+                prop_assert_eq!(balance[node], 0, "node {} unbalanced", node);
+            }
+        }
+    }
+}

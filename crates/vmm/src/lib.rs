@@ -1,0 +1,32 @@
+//! # vmm — servers, virtual machines and their lifecycle costs
+//!
+//! §II: "each hosted application runs in its own virtual machine"; a
+//! popular application is represented by multiple VM instances. The
+//! architecture's knobs act on VMs in three ways, each with a very
+//! different actuation cost (§IV.D–§IV.F):
+//!
+//! * **VM capacity adjustment** (§IV.E) — "common VM monitors, e.g. VMware
+//!   ESX, allow VMs to be allocated hard slices of physical resources …
+//!   these slices can be adjusted programmatically and, for many guest
+//!   operating systems, on the fly without needing a reboot" (ref \[5\]).
+//!   Seconds.
+//! * **Dynamic application deployment** (§IV.D) — cloning (SnowFlock-style
+//!   fast clone, ref \[14\]) or migrating (black/gray-box, ref \[25\]) a VM
+//!   into another pod. Tens of seconds to minutes, dominated by memory
+//!   transfer.
+//! * **Fresh boot** — deploying a brand-new instance from an image.
+//!   Minutes.
+//!
+//! [`Server`] enforces slice feasibility, [`Fleet`] tracks VM placement and
+//! in-flight transitions, and [`CostModel`] supplies the actuation
+//! latencies the experiments compare (E6, E7).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fleet;
+pub mod server;
+
+pub use cost::CostModel;
+pub use fleet::{Fleet, VmError};
+pub use server::{Server, ServerId, ServerSpec, Vm, VmId, VmState};

@@ -1,0 +1,105 @@
+//! Sampling utilities for session-level workload dynamics.
+//!
+//! Implemented here rather than pulled from `rand_distr` to keep the
+//! dependency set to the approved list; each sampler is textbook and
+//! verified against its analytic moments in the tests.
+
+use rand::Rng;
+
+/// Sample an exponential with the given rate (mean `1/rate`); used for
+/// Poisson inter-arrival times of client sessions.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Sample a log-normal via Box–Muller; `mu`/`sigma` are the parameters of
+/// the underlying normal. Session durations are classically log-normal.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Sample a Poisson count with mean `lambda`. Uses Knuth's product method
+/// for small `lambda` and a normal approximation (rounded, clamped at 0)
+/// for large `lambda`, which is accurate to well under a percent above the
+/// switch point.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsim::rng::component_rng;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = component_rng(3, "exp", 0);
+        let samples: Vec<f64> = (0..100_000).map(|_| exponential(&mut rng, 2.0)).collect();
+        assert!((mean_of(&samples) - 0.5).abs() < 0.01);
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn log_normal_median() {
+        // Median of log-normal is e^mu.
+        let mut rng = component_rng(4, "ln", 0);
+        let mut samples: Vec<f64> = (0..100_001).map(|_| log_normal(&mut rng, 1.0, 0.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = samples[50_000];
+        assert!((median - 1.0f64.exp()).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean_and_variance() {
+        let mut rng = component_rng(5, "pois", 0);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| poisson(&mut rng, 3.5) as f64).collect();
+        let mean = mean_of(&samples);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+        assert!((var - 3.5).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut rng = component_rng(6, "pois-big", 0);
+        let samples: Vec<f64> = (0..50_000).map(|_| poisson(&mut rng, 500.0) as f64).collect();
+        assert!((mean_of(&samples) - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = component_rng(7, "pois-zero", 0);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+}

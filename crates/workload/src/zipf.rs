@@ -1,0 +1,147 @@
+//! Zipf popularity distribution.
+//!
+//! Web application popularity is classically Zipf-distributed: the k-th
+//! most popular application receives demand proportional to `1/k^s`. The
+//! paper's "popular applications are assigned more \[VIPs\] than unpopular
+//! applications" policy (§IV.A) keys off exactly this ranking.
+
+use rand::Rng;
+
+/// Normalized Zipf weights for `n` ranks with exponent `s`:
+/// `w_k ∝ 1 / (k+1)^s`, `Σ w_k = 1`. Rank 0 is the most popular.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one rank");
+    assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+    let mut w: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// A sampler over Zipf ranks, using a precomputed CDF and binary search
+/// (`O(log n)` per sample).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let w = zipf_weights(n, s);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for x in w {
+            acc += x;
+            cdf.push(acc);
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if empty (never: construction requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of one rank.
+    pub fn weight(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Sample a rank (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsim::rng::component_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weights_normalized_and_decreasing() {
+        let w = zipf_weights(100, 0.9);
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let w = zipf_weights(10, 0.0);
+        for &x in &w {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn classic_zipf_ratio() {
+        // With s = 1, rank 0 gets exactly 2× rank 1 and 3× rank 2.
+        let w = zipf_weights(10, 1.0);
+        assert!((w[0] / w[1] - 2.0).abs() < 1e-9);
+        assert!((w[0] / w[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = component_rng(7, "zipf-test", 0);
+        let n = 200_000;
+        let mut counts = vec![0u32; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for rank in 0..5 {
+            let emp = counts[rank] as f64 / n as f64;
+            let want = z.weight(rank);
+            assert!((emp - want).abs() < 0.01, "rank {rank}: {emp} vs {want}");
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = component_rng(1, "zipf-single", 0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_weights_valid(n in 1usize..500, s in 0.0f64..3.0) {
+            let w = zipf_weights(n, s);
+            prop_assert_eq!(w.len(), n);
+            let total: f64 = w.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(w.iter().all(|&x| x > 0.0));
+        }
+
+        #[test]
+        fn prop_samples_in_range(n in 1usize..100, s in 0.0f64..3.0, seed in any::<u64>()) {
+            let z = Zipf::new(n, s);
+            let mut rng = component_rng(seed, "zipf-prop", 0);
+            for _ in 0..50 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Selective VIP exposure (§IV.A): balance the access links by answering
+//! DNS queries with VIPs advertised on lightly loaded links — no route
+//! churn, relief within one TTL.
+//!
+//! The scenario skews demand so that one access link starts far hotter
+//! than the others, then lets the global manager's link balancer work.
+//! The output shows per-link utilization converging while the BGP route
+//! update counter stays flat — the decoupling the paper claims over
+//! naive VIP re-advertisement.
+//!
+//! ```sh
+//! cargo run --release --example link_balancing
+//! ```
+
+use dcsim::table::{fnum, Table};
+use megadc::{Platform, PlatformConfig};
+
+fn main() {
+    let mut config = PlatformConfig::pod_scale();
+    config.seed = 7;
+    config.diurnal_amplitude = 0.0;
+    // Fewer, smaller links so the skew bites: 3 links sized such that a
+    // balanced assignment sits near 55% but a skewed one overloads.
+    config.num_access_links = 3;
+    config.access_link_bps = 25e9;
+    config.total_demand_bps = 40e9;
+    let mut platform = Platform::build(config).expect("valid configuration");
+
+    // Skew: concentrate the top apps' DNS exposure onto their link-0 VIPs
+    // (simulating a stale/naive configuration).
+    let now = platform.now();
+    let top_apps: Vec<u32> = platform.workload.apps_by_popularity().into_iter().take(40).collect();
+    for app in &top_apps {
+        let vips = platform.state.app(megadc::AppId(*app)).unwrap().vips.clone();
+        // Find a covered VIP advertised at router 0; put all weight there.
+        let weights: Vec<(lbswitch::VipAddr, f64)> = vips
+            .iter()
+            .map(|&v| {
+                let rec = platform.state.vip(v).unwrap();
+                let on_link0 = rec.router.map(|r| r.0 == 0).unwrap_or(false);
+                let covered = platform.state.vip_rip_count(v) > 0;
+                (v, if covered && on_link0 { 1.0 } else { 0.0 })
+            })
+            .collect();
+        if weights.iter().any(|&(_, w)| w > 0.0) {
+            platform.state.dns.set_exposure(*app, weights, now);
+        }
+    }
+
+    let updates_before = platform.state.routes.updates_sent();
+    let mut t = Table::new(["t (min)", "link0", "link1", "link2", "fairness", "exposure updates", "route updates"]);
+    for i in 0..120u64 {
+        let snap = platform.step();
+        if i % 10 == 0 {
+            let u = snap.link_utilizations(&platform.state);
+            t.row([
+                fnum(platform.now().as_secs_f64() / 60.0, 1),
+                fnum(u[0], 3),
+                fnum(u[1], 3),
+                fnum(u[2], 3),
+                fnum(snap.link_fairness(&platform.state), 3),
+                platform.global.counters.exposure_updates.to_string(),
+                (platform.state.routes.updates_sent() - updates_before).to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "selective exposure issued {} DNS updates and only {} route updates;\n\
+         naive VIP re-advertisement would have withdrawn+re-advertised a route\n\
+         per moved VIP per decision (2 updates each) and waited out BGP\n\
+         convergence ({}s here) before any relief.",
+        platform.global.counters.exposure_updates,
+        platform.state.routes.updates_sent() - updates_before,
+        platform.state.config.route_convergence.as_secs_f64(),
+    );
+    platform.state.assert_invariants();
+}

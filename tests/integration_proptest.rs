@@ -1,0 +1,143 @@
+//! Property-based integration test: arbitrary interleavings of platform
+//! operations — VIP allocation, instance add/remove, transfers, server
+//! moves, weight changes, failures — never break the cross-component
+//! invariants of `PlatformState::assert_invariants`.
+
+use lbswitch::SwitchId;
+use megadc::config::PlatformConfig;
+use megadc::state::PlatformState;
+use megadc::{AppId, PodId};
+use proptest::prelude::*;
+use vmm::ServerId;
+
+/// The operations the fuzzer may interleave. Indices are taken modulo the
+/// live population so every generated value is meaningful.
+#[derive(Debug, Clone)]
+enum Op {
+    AllocVip { app: u16, switch: u16 },
+    AddInstance { app: u16, server: u16, weight: u8 },
+    RemoveInstance { nth_vm: u16 },
+    TransferVip { nth_vip: u16, to: u16 },
+    MoveServer { server: u16, pod: u16 },
+    SetWeight { nth_rip: u16, weight: u8 },
+    FailServer { server: u16 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>()).prop_map(|(app, switch)| Op::AllocVip { app, switch }),
+        (any::<u16>(), any::<u16>(), any::<u8>())
+            .prop_map(|(app, server, weight)| Op::AddInstance { app, server, weight }),
+        any::<u16>().prop_map(|nth_vm| Op::RemoveInstance { nth_vm }),
+        (any::<u16>(), any::<u16>()).prop_map(|(nth_vip, to)| Op::TransferVip { nth_vip, to }),
+        (any::<u16>(), any::<u16>()).prop_map(|(server, pod)| Op::MoveServer { server, pod }),
+        (any::<u16>(), any::<u8>()).prop_map(|(nth_rip, weight)| Op::SetWeight { nth_rip, weight }),
+        any::<u16>().prop_map(|server| Op::FailServer { server }),
+    ]
+}
+
+fn apply(st: &mut PlatformState, op: &Op) {
+    let num_apps = st.num_apps() as u32;
+    let num_switches = st.switches.len() as u32;
+    let num_servers = st.fleet.num_servers() as u32;
+    let num_pods = st.num_pods() as u32;
+    match *op {
+        Op::AllocVip { app, switch } => {
+            let app = AppId(app as u32 % num_apps);
+            let sw = SwitchId(switch as u32 % num_switches);
+            let _ = st.allocate_vip(app, sw); // may fail (limits): fine
+        }
+        Op::AddInstance { app, server, weight } => {
+            let app = AppId(app as u32 % num_apps);
+            let server = ServerId(server as u32 % num_servers);
+            if !st.server_healthy(server) {
+                return;
+            }
+            let vips = st.app(app).expect("in range").vips.clone();
+            if let Some(&vip) = vips.first() {
+                let _ = st.add_instance_running(app, server, vip, 0.1 + weight as f64);
+            }
+        }
+        Op::RemoveInstance { nth_vm } => {
+            // Pick the nth live VM (if any).
+            let vms: Vec<_> = st
+                .fleet
+                .servers()
+                .iter()
+                .flat_map(|s| s.vms().map(|v| v.id))
+                .collect();
+            if !vms.is_empty() {
+                let vm = vms[nth_vm as usize % vms.len()];
+                let _ = st.remove_instance(vm);
+            }
+        }
+        Op::TransferVip { nth_vip, to } => {
+            let vips: Vec<_> = st.vips().map(|(v, _)| v).collect();
+            if !vips.is_empty() {
+                let vip = vips[nth_vip as usize % vips.len()];
+                let to = SwitchId(to as u32 % num_switches);
+                if st.switch_healthy(to) {
+                    let _ = st.transfer_vip(vip, to);
+                }
+            }
+        }
+        Op::MoveServer { server, pod } => {
+            let server = ServerId(server as u32 % num_servers);
+            let pod = PodId(pod as u32 % num_pods);
+            // Keep every pod non-empty (the state allows empties, but the
+            // invariant test is more interesting with live pods).
+            if st.pod_servers(st.pod_of(server)).len() > 1 {
+                st.move_server_to_pod(server, pod);
+            }
+        }
+        Op::SetWeight { nth_rip, weight } => {
+            let rips: Vec<_> = st
+                .vips()
+                .flat_map(|(v, rec)| {
+                    st.switches[rec.switch.0 as usize]
+                        .vip(v)
+                        .map(|cfg| cfg.rips.iter().map(move |r| (v, r.rip)).collect::<Vec<_>>())
+                        .unwrap_or_default()
+                })
+                .collect();
+            if !rips.is_empty() {
+                let (vip, rip) = rips[nth_rip as usize % rips.len()];
+                let sw = st.vip(vip).expect("listed").switch;
+                let _ = st.switches[sw.0 as usize].set_rip_weight(vip, rip, weight as f64);
+            }
+        }
+        Op::FailServer { server } => {
+            let server = ServerId(server as u32 % num_servers);
+            if st.server_healthy(server) {
+                st.fail_server(server);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn random_operation_sequences_preserve_invariants(
+        ops in proptest::collection::vec(arb_op(), 1..120)
+    ) {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.num_apps = 6;
+        let mut st = PlatformState::new(cfg);
+        for rank in 0..cfg.num_apps {
+            st.register_app(rank);
+        }
+        // Seed each app with one VIP so AddInstance has a target.
+        for a in 0..cfg.num_apps as u32 {
+            let _ = st.allocate_vip(AppId(a), SwitchId(a % 2));
+        }
+        for op in &ops {
+            apply(&mut st, op);
+        }
+        st.assert_invariants();
+        // Address-pool conservation: the number of live RIPs equals the
+        // number of VMs holding one.
+        let rips_on_switches: usize = st.switches.iter().map(|s| s.rip_count()).sum();
+        prop_assert_eq!(rips_on_switches, st.num_rips());
+    }
+}

@@ -1,0 +1,87 @@
+//! Scale-oriented integration tests: the paper's sizing arithmetic against
+//! a *constructed* fabric, and a larger platform build exercising the
+//! round-robin pod deal and the §III.C allocation policies at volume.
+
+use lbswitch::SwitchLimits;
+use megadc::sizing::{size_fabric, Binding};
+use megadc::{Platform, PlatformConfig};
+
+/// Build a platform with ~1000 servers and verify the fabric actually
+/// holds the configured VIP/RIP population that the sizing formula
+/// predicted it would.
+#[test]
+fn sized_fabric_holds_the_vip_population() {
+    let mut config = PlatformConfig::pod_scale();
+    config.num_servers = 1000;
+    config.initial_pods = 8;
+    config.pod_max_servers = 200;
+    config.pod_max_vms = 2000;
+    config.num_apps = 800;
+    config.vips_per_app = 3;
+    config.initial_instances_per_app = 4;
+    config.num_switches = 0; // auto-size
+    let platform = Platform::build(config).expect("build");
+
+    let total_vips: usize = platform.state.switches.iter().map(|s| s.vip_count()).sum();
+    let total_rips: usize = platform.state.switches.iter().map(|s| s.rip_count()).sum();
+    // Every app got at least vips_per_app VIPs; every instance has a RIP.
+    assert!(total_vips >= config.num_apps * config.vips_per_app);
+    assert_eq!(total_rips, config.num_apps * config.initial_instances_per_app);
+    // And no switch is over its table limits.
+    for sw in &platform.state.switches {
+        assert!(sw.vip_count() <= sw.limits().max_vips);
+        assert!(sw.rip_count() <= sw.limits().max_rips);
+    }
+    // The §III.C policy keeps tables balanced: max/min VIP count within
+    // a factor of ~2 across switches.
+    let counts: Vec<usize> = platform.state.switches.iter().map(|s| s.vip_count()).collect();
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    assert!(max <= 2 * min.max(1), "unbalanced VIP tables: {counts:?}");
+}
+
+/// The §V.A sizing table reproduced against the real switch type, at the
+/// paper's full scale (arithmetic only — no 300k-server build).
+#[test]
+fn paper_scale_sizing_is_reachable() {
+    let limits = SwitchLimits::CISCO_CATALYST;
+    let row = size_fabric(&limits, 300_000, 3, 20);
+    assert_eq!(row.switches, 375);
+    assert_eq!(row.binding, Binding::Rips);
+    // 375 switches × 4 Gbps = 1.5 Tbps of external capacity.
+    assert!((row.aggregate_bps - 1.5e12).abs() < 1e3);
+    // The config's auto-sizing agrees (modulo the 20% slack).
+    let mut config = PlatformConfig::paper_scale();
+    config.popular_extra_vips = 0;
+    assert_eq!(config.effective_num_switches(), 450);
+}
+
+/// Pod deal at volume: servers are spread evenly and pod caps hold.
+#[test]
+fn pods_are_balanced_at_build() {
+    let mut config = PlatformConfig::pod_scale();
+    config.num_servers = 900;
+    config.initial_pods = 9;
+    config.pod_max_servers = 150;
+    config.pod_max_vms = 1500;
+    config.num_apps = 300;
+    let platform = Platform::build(config).expect("build");
+    for p in 0..platform.state.num_pods() {
+        let n = platform.state.pod_servers(megadc::PodId(p as u32)).len();
+        assert_eq!(n, 100, "pod {p} has {n} servers");
+    }
+    platform.state.assert_invariants();
+}
+
+/// Determinism across the whole stack at a non-trivial scale.
+#[test]
+fn larger_build_is_deterministic() {
+    let run = || {
+        let mut config = PlatformConfig::pod_scale();
+        config.seed = 5;
+        let mut p = Platform::build(config).expect("build");
+        let r = p.run_epochs(15);
+        (r.final_served_fraction, r.final_link_util_max, p.state.num_rips())
+    };
+    assert_eq!(run(), run());
+}
