@@ -26,7 +26,12 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("platform_build");
     group.sample_size(10);
     group.bench_function("build_pod_scale", |b| {
-        b.iter(|| Platform::build(PlatformConfig::pod_scale()).expect("build").state.num_rips())
+        b.iter(|| {
+            Platform::build(PlatformConfig::pod_scale())
+                .expect("build")
+                .state
+                .num_rips()
+        })
     });
     group.finish();
 }

@@ -7,7 +7,7 @@ use dcdns::{DnsConfig, DnsSystem};
 use dcnet::maxmin::{max_min_allocate, Flow};
 use dcsim::SimTime;
 use lbswitch::policy::split_by_weight;
-use lbswitch::{LbSwitch, SwitchId, SwitchLimits, VipAddr, RipAddr};
+use lbswitch::{LbSwitch, RipAddr, SwitchId, SwitchLimits, VipAddr};
 
 fn bench_switch(c: &mut Criterion) {
     let mut group = c.benchmark_group("switch");
@@ -15,7 +15,8 @@ fn bench_switch(c: &mut Criterion) {
         let mut sw = LbSwitch::new(SwitchId(0), SwitchLimits::CISCO_CATALYST);
         sw.add_vip(VipAddr(0)).unwrap();
         for r in 0..16 {
-            sw.add_rip(VipAddr(0), RipAddr(r), 1.0 + (r % 4) as f64).unwrap();
+            sw.add_rip(VipAddr(0), RipAddr(r), 1.0 + (r % 4) as f64)
+                .unwrap();
         }
         let mut k = 0u64;
         b.iter(|| {
@@ -28,7 +29,8 @@ fn bench_switch(c: &mut Criterion) {
         let mut sw = LbSwitch::new(SwitchId(0), SwitchLimits::CISCO_CATALYST);
         sw.add_vip(VipAddr(0)).unwrap();
         for r in 0..64 {
-            sw.add_rip(VipAddr(0), RipAddr(r), 1.0 + (r % 7) as f64).unwrap();
+            sw.add_rip(VipAddr(0), RipAddr(r), 1.0 + (r % 7) as f64)
+                .unwrap();
         }
         sw.set_offered_load(VipAddr(0), 3.5e9).unwrap();
         b.iter(|| sw.distribute_vip(VipAddr(0)).unwrap().len())
@@ -44,14 +46,16 @@ fn bench_dns(c: &mut Criterion) {
     let mut group = c.benchmark_group("dns");
     let mut dns = DnsSystem::new(DnsConfig::default());
     for app in 0..1000u32 {
-        let vips: Vec<(VipAddr, f64)> =
-            (0..5).map(|i| (VipAddr(app * 5 + i), 1.0 + i as f64)).collect();
+        let vips: Vec<(VipAddr, f64)> = (0..5)
+            .map(|i| (VipAddr(app * 5 + i), 1.0 + i as f64))
+            .collect();
         dns.set_exposure(app, vips, SimTime::ZERO);
     }
     // Change half of them so shares require blending.
     for app in 0..500u32 {
-        let vips: Vec<(VipAddr, f64)> =
-            (0..5).map(|i| (VipAddr(app * 5 + i), 5.0 - i as f64)).collect();
+        let vips: Vec<(VipAddr, f64)> = (0..5)
+            .map(|i| (VipAddr(app * 5 + i), 5.0 - i as f64))
+            .collect();
         dns.set_exposure(app, vips, SimTime::from_secs(100));
     }
     let t = SimTime::from_secs(130);

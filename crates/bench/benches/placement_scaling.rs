@@ -6,22 +6,37 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcsim::rng::component_rng;
-use placement::{AppReq, FirstFit, PlacementAlgorithm, PlacementProblem, ServerCap, TangController};
+use placement::{
+    AppReq, FirstFit, PlacementAlgorithm, PlacementProblem, ServerCap, TangController,
+};
 use rand::Rng;
 
 fn problem(servers: usize) -> PlacementProblem {
     let apps = servers * 5 / 2;
     let mut rng = component_rng(1, "bench-problem", servers as u64);
     let target_total = servers as f64 * 8.0 * 0.6;
-    let mut demands: Vec<f64> =
-        (0..apps).map(|i| 1.0 / ((i + 1) as f64).powf(0.7) + rng.gen_range(0.0..0.05)).collect();
+    let mut demands: Vec<f64> = (0..apps)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(0.7) + rng.gen_range(0.0..0.05))
+        .collect();
     let sum: f64 = demands.iter().sum();
     for d in &mut demands {
         *d *= target_total / sum;
     }
     PlacementProblem {
-        servers: vec![ServerCap { cpu: 8.0, max_vms: 16 }; servers],
-        apps: demands.into_iter().map(|d| AppReq { demand_cpu: d, vm_cap: 2.0 }).collect(),
+        servers: vec![
+            ServerCap {
+                cpu: 8.0,
+                max_vms: 16
+            };
+            servers
+        ],
+        apps: demands
+            .into_iter()
+            .map(|d| AppReq {
+                demand_cpu: d,
+                vm_cap: 2.0,
+            })
+            .collect(),
     }
 }
 

@@ -28,7 +28,12 @@ fn bench_alloc(c: &mut Criterion) {
                         for a in 0..1000 {
                             st.register_app(a);
                             for _ in 0..3 {
-                                mgr.submit(Priority::Normal, Request::NewVip { app: AppId(a as u32) });
+                                mgr.submit(
+                                    Priority::Normal,
+                                    Request::NewVip {
+                                        app: AppId(a as u32),
+                                    },
+                                );
                             }
                         }
                         (st, mgr)

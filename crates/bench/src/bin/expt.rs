@@ -1,4 +1,4 @@
-//! `expt` — regenerate the experiment tables (E1–E12, see DESIGN.md §4).
+//! `expt` — regenerate the experiment tables (E1–E16, see DESIGN.md §4).
 //!
 //! ```sh
 //! cargo run --release -p megadc-bench --bin expt -- all
@@ -13,7 +13,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
     if args.is_empty() {
-        eprintln!("usage: expt [--quick] <e1..e14 | all> ...");
+        eprintln!(
+            "usage: expt [--quick] <{}..{} | all> ...",
+            EXPERIMENTS[0],
+            EXPERIMENTS[EXPERIMENTS.len() - 1]
+        );
         std::process::exit(2);
     }
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
@@ -28,7 +32,11 @@ fn main() {
                 println!("{report}");
             }
             None => {
-                eprintln!("unknown experiment '{id}' (expected e1..e14 or all)");
+                eprintln!(
+                    "unknown experiment '{id}' (expected {}..{} or all)",
+                    EXPERIMENTS[0],
+                    EXPERIMENTS[EXPERIMENTS.len() - 1]
+                );
                 std::process::exit(2);
             }
         }

@@ -15,7 +15,9 @@
 
 use dcsim::rng::component_rng;
 use dcsim::table::{fnum, Table};
-use placement::{AppReq, FirstFit, PlacementAlgorithm, PlacementProblem, ServerCap, TangController};
+use placement::{
+    AppReq, FirstFit, PlacementAlgorithm, PlacementProblem, ServerCap, TangController,
+};
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -34,8 +36,20 @@ fn problem(servers: usize, seed: u64) -> PlacementProblem {
         *d *= target_total / sum;
     }
     PlacementProblem {
-        servers: vec![ServerCap { cpu: cpu_per_server, max_vms: 16 }; servers],
-        apps: demands.into_iter().map(|d| AppReq { demand_cpu: d, vm_cap: 2.0 }).collect(),
+        servers: vec![
+            ServerCap {
+                cpu: cpu_per_server,
+                max_vms: 16
+            };
+            servers
+        ],
+        apps: demands
+            .into_iter()
+            .map(|d| AppReq {
+                demand_cpu: d,
+                vm_cap: 2.0,
+            })
+            .collect(),
     }
 }
 
@@ -47,7 +61,11 @@ fn time_it<F: FnOnce() -> f64>(f: F) -> (f64, f64) {
 
 /// Run the scaling sweep.
 pub fn run(quick: bool) -> String {
-    let sizes: &[usize] = if quick { &[250, 500, 1000] } else { &[250, 500, 1000, 2000, 4000, 8000] };
+    let sizes: &[usize] = if quick {
+        &[250, 500, 1000]
+    } else {
+        &[250, 500, 1000, 2000, 4000, 8000]
+    };
     let pod_size = 500usize;
     let tang = TangController::default();
 

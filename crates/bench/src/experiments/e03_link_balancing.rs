@@ -34,7 +34,14 @@ fn skew_to_link0(p: &mut Platform, now: SimTime) {
             .map(|&v| {
                 let rec = p.state.vip(v).unwrap();
                 let on0 = rec.router.map(|r| r.0 == 0).unwrap_or(false);
-                (v, if on0 && p.state.vip_rip_count(v) > 0 { 1.0 } else { 0.0 })
+                (
+                    v,
+                    if on0 && p.state.vip_rip_count(v) > 0 {
+                        1.0
+                    } else {
+                        0.0
+                    },
+                )
             })
             .collect();
         if weights.iter().any(|&(_, w)| w > 0.0) {
@@ -56,11 +63,24 @@ fn run_mode(mode: &str, epochs: u64) -> Outcome {
     // Capacity-proportional exposure (§IV.B) also rewrites DNS weights and
     // would undo the skew in every mode; disable it so the experiment
     // isolates the *link* knob against its alternatives.
-    let base = KnobFlags { capacity_exposure: false, ..KnobFlags::ALL };
+    let base = KnobFlags {
+        capacity_exposure: false,
+        ..KnobFlags::ALL
+    };
     match mode {
-        "none" => cfg.knobs = KnobFlags { link_exposure: false, ..base },
+        "none" => {
+            cfg.knobs = KnobFlags {
+                link_exposure: false,
+                ..base
+            }
+        }
         "exposure" => cfg.knobs = base,
-        "readvertise" => cfg.knobs = KnobFlags { link_exposure: false, ..base },
+        "readvertise" => {
+            cfg.knobs = KnobFlags {
+                link_exposure: false,
+                ..base
+            }
+        }
         _ => unreachable!(),
     }
     let mut p = Platform::build(cfg).expect("build");
@@ -122,7 +142,11 @@ fn run_mode(mode: &str, epochs: u64) -> Outcome {
         relief_s: relief,
         route_updates: p.state.routes.updates_sent() - updates0,
         dns_updates: p.state.dns.reconfigurations() - dns0,
-        final_max_util: snap.link_utilizations(&p.state).iter().cloned().fold(0.0, f64::max),
+        final_max_util: snap
+            .link_utilizations(&p.state)
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max),
         final_fairness: snap.link_fairness(&p.state),
     }
 }
@@ -142,7 +166,9 @@ pub fn run(quick: bool) -> String {
         let o = run_mode(mode, epochs);
         t.row([
             mode.to_string(),
-            o.relief_s.map(|s| fnum(s, 0)).unwrap_or_else(|| "never".into()),
+            o.relief_s
+                .map(|s| fnum(s, 0))
+                .unwrap_or_else(|| "never".into()),
             o.route_updates.to_string(),
             o.dns_updates.to_string(),
             fnum(o.final_max_util, 3),

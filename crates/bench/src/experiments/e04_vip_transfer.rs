@@ -29,7 +29,10 @@ fn scenario(stale_fraction: f64, transfers_on: bool) -> (Platform, usize) {
     cfg.dns.stale_fraction = stale_fraction;
     cfg.quiescence_share = 0.05;
     if !transfers_on {
-        cfg.knobs = KnobFlags { vip_transfer: false, ..KnobFlags::ALL };
+        cfg.knobs = KnobFlags {
+            vip_transfer: false,
+            ..KnobFlags::ALL
+        };
     }
     let mut p = Platform::build(cfg).expect("build");
     p.run_epochs(10);
@@ -42,9 +45,7 @@ fn scenario(stale_fraction: f64, transfers_on: bool) -> (Platform, usize) {
         .map(|(i, _)| i)
         .expect("switches exist");
     // Apps with a demand-carrying VIP on the hot switch, by demand.
-    let mut apps: Vec<(u32, f64)> = p
-        .state
-        .switches[hot_switch]
+    let mut apps: Vec<(u32, f64)> = p.state.switches[hot_switch]
         .vips()
         .map(|(v, cfg)| (p.state.vip(v).expect("listed").app.0, cfg.offered_bps))
         .collect();
@@ -113,7 +114,11 @@ pub fn run(quick: bool) -> String {
         "served (final)",
     ]);
     let mut rows = vec![("transfers off", 0.15, false)];
-    for &sf in if quick { &[0.15][..] } else { &[0.05, 0.15, 0.30][..] } {
+    for &sf in if quick {
+        &[0.15][..]
+    } else {
+        &[0.05, 0.15, 0.30][..]
+    } {
         rows.push(("transfers on", sf, true));
     }
     for (label, sf, on) in rows {
@@ -125,7 +130,9 @@ pub fn run(quick: bool) -> String {
             fnum(o.max_switch_util_final, 3),
             o.drains.to_string(),
             o.transfers.to_string(),
-            o.first_transfer_s.map(|s| fnum(s, 0)).unwrap_or_else(|| "never".into()),
+            o.first_transfer_s
+                .map(|s| fnum(s, 0))
+                .unwrap_or_else(|| "never".into()),
             fnum(o.served_final, 3),
         ]);
     }

@@ -15,7 +15,7 @@ use megadc::demand::propagate;
 use megadc::pod::PodManager;
 use megadc::state::PlatformState;
 use megadc::viprip::{Priority, Request, VipRipManager};
-use megadc::{AppId, PlatformConfig, Platform, PodId};
+use megadc::{AppId, Platform, PlatformConfig, PodId};
 
 /// Build a single-pod state with `servers` servers and `servers/2` apps
 /// (×4 instances), loaded to ~50%.
@@ -55,7 +55,14 @@ fn pod_state(servers: usize) -> (PlatformState, megadc::demand::LoadSnapshot) {
                 )
                 .expect("capacity");
             next_server += 1;
-            mgr.submit(Priority::Normal, Request::NewRip { app: AppId(a), vm, weight: 1.0 });
+            mgr.submit(
+                Priority::Normal,
+                Request::NewRip {
+                    app: AppId(a),
+                    vm,
+                    weight: 1.0,
+                },
+            );
         }
     }
     mgr.process_all(&mut st);
@@ -69,7 +76,8 @@ fn pod_state(servers: usize) -> (PlatformState, megadc::demand::LoadSnapshot) {
             .collect();
         st.dns.set_exposure(a, weights, t);
         for &v in &vips {
-            st.advertise_vip(v, dcnet::access::AccessRouterId(0), t).unwrap();
+            st.advertise_vip(v, dcnet::access::AccessRouterId(0), t)
+                .unwrap();
         }
     }
     let now = t + st.routes.convergence();
@@ -81,7 +89,11 @@ fn pod_state(servers: usize) -> (PlatformState, megadc::demand::LoadSnapshot) {
 
 /// Run the decision-time sweep + elephant demo.
 pub fn run(quick: bool) -> String {
-    let sizes: &[usize] = if quick { &[100, 400] } else { &[100, 200, 400, 800, 1600, 3200] };
+    let sizes: &[usize] = if quick {
+        &[100, 400]
+    } else {
+        &[100, 200, 400, 800, 1600, 3200]
+    };
     let mut t = Table::new(["pod servers", "pod VMs", "apps", "decision time (ms)"]);
     let mut times = Vec::new();
     for &servers in sizes {

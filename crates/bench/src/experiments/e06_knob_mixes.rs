@@ -62,11 +62,20 @@ pub fn run(quick: bool) -> String {
         ("all knobs", KnobFlags::ALL),
         (
             "fast only (slices+weights)",
-            KnobFlags { deployments: false, pod_instances: false, server_transfers: false, ..KnobFlags::ALL },
+            KnobFlags {
+                deployments: false,
+                pod_instances: false,
+                server_transfers: false,
+                ..KnobFlags::ALL
+            },
         ),
         (
             "deploy only (no fast knobs)",
-            KnobFlags { pod_slices: false, interpod_weights: false, ..KnobFlags::ALL },
+            KnobFlags {
+                pod_slices: false,
+                interpod_weights: false,
+                ..KnobFlags::ALL
+            },
         ),
         ("static (no knobs)", KnobFlags::NONE),
     ];

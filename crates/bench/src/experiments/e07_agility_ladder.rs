@@ -25,7 +25,8 @@ fn measure_reweight(use_weights: bool) -> SimDuration {
     let mut st = PlatformState::new(cfg);
     let app = st.register_app(0);
     let vip = st.allocate_vip(app, lbswitch::SwitchId(0)).unwrap();
-    st.advertise_vip(vip, dcnet::access::AccessRouterId(0), SimTime::ZERO).unwrap();
+    st.advertise_vip(vip, dcnet::access::AccessRouterId(0), SimTime::ZERO)
+        .unwrap();
     let (vm_a, rip_a) = st.add_instance_running(app, ServerId(0), vip, 9.0).unwrap();
     let (_vm_b, rip_b) = st.add_instance_running(app, ServerId(1), vip, 1.0).unwrap();
     let _ = vm_a;

@@ -39,16 +39,28 @@ fn run_k(k: usize, epochs: u64) -> Outcome {
     for _ in 0..epochs {
         let snap = p.step();
         last_fair = snap.link_fairness(&p.state);
-        last_max = snap.link_utilizations(&p.state).iter().cloned().fold(0.0, f64::max);
+        last_max = snap
+            .link_utilizations(&p.state)
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
         last_served = snap.served_fraction();
     }
-    Outcome { fairness: last_fair, max_util: last_max, served: last_served }
+    Outcome {
+        fairness: last_fair,
+        max_util: last_max,
+        served: last_served,
+    }
 }
 
 /// Run the sweep.
 pub fn run(quick: bool) -> String {
     let epochs = if quick { 40 } else { 120 };
-    let ks: &[usize] = if quick { &[1, 3, 5] } else { &[1, 2, 3, 4, 5, 6] };
+    let ks: &[usize] = if quick {
+        &[1, 3, 5]
+    } else {
+        &[1, 2, 3, 4, 5, 6]
+    };
     let limits = SwitchLimits::CISCO_CATALYST;
     let mut t = Table::new([
         "VIPs/app (k)",

@@ -26,14 +26,25 @@ pub fn run(quick: bool) -> String {
 
     // (1) Arithmetic: LB-layer utilization vs. total DC traffic for the
     // §III.B (150) and §V.A (375) fabrics.
-    let mut t1 = Table::new(["total traffic (Tbps)", "external (Gbps)", "util @150 sw", "util @375 sw"]);
+    let mut t1 = Table::new([
+        "total traffic (Tbps)",
+        "external (Gbps)",
+        "util @150 sw",
+        "util @375 sw",
+    ]);
     for &total_tbps in &[0.5, 1.0, 2.0, 3.0, 5.0] {
         let total = total_tbps * 1e12;
         t1.row([
             fnum(total_tbps, 1),
             fnum(total * external_fraction / 1e9, 0),
-            fnum(lb_layer_utilization(&limits, total, external_fraction, 150), 3),
-            fnum(lb_layer_utilization(&limits, total, external_fraction, 375), 3),
+            fnum(
+                lb_layer_utilization(&limits, total, external_fraction, 150),
+                3,
+            ),
+            fnum(
+                lb_layer_utilization(&limits, total, external_fraction, 375),
+                3,
+            ),
         ]);
     }
 
@@ -63,17 +74,19 @@ pub fn run(quick: bool) -> String {
     let per_host_total = 0.3e9; // 30% busy NICs
     let ext = per_host_total * external_fraction;
     // LB layer sized for the external load with 20% slack (§III.B).
-    let switches =
-        ((hosts as f64 * ext / limits.capacity_bps) * 1.2).ceil() as usize;
+    let switches = ((hosts as f64 * ext / limits.capacity_bps) * 1.2).ceil() as usize;
     // Link indices: [0, hosts) NICs, [hosts, hosts+switches) LB switches,
     // [hosts+switches, …+links) access links.
     let mut caps = vec![nic_bps; hosts];
-    caps.extend(std::iter::repeat(limits.capacity_bps).take(switches));
-    caps.extend(std::iter::repeat(100e9).take(links));
+    caps.extend(std::iter::repeat_n(limits.capacity_bps, switches));
+    caps.extend(std::iter::repeat_n(100e9, links));
     let mut flows = Vec::with_capacity(2 * hosts);
     for h in 0..hosts {
         // External flow: NIC → LB switch → access link.
-        flows.push(Flow::new(ext, vec![h, hosts + h % switches, hosts + switches + h % links]));
+        flows.push(Flow::new(
+            ext,
+            vec![h, hosts + h % switches, hosts + switches + h % links],
+        ));
         // Internal flow: NIC only (the fabric core is non-blocking).
         flows.push(Flow::new(per_host_total - ext, vec![h]));
     }

@@ -24,13 +24,20 @@ fn allocate_flat(num_apps: usize, num_switches: usize, k: usize) -> f64 {
     for a in 0..num_apps {
         st.register_app(a);
         for _ in 0..k {
-            mgr.submit(Priority::Normal, Request::NewVip { app: AppId(a as u32) });
+            mgr.submit(
+                Priority::Normal,
+                Request::NewVip {
+                    app: AppId(a as u32),
+                },
+            );
         }
     }
     let started = std::time::Instant::now();
     let out = mgr.process_all(&mut st);
     let secs = started.elapsed().as_secs_f64();
-    assert!(out.iter().all(|(_, r)| !matches!(r, megadc::viprip::Response::Failed(_))));
+    assert!(out
+        .iter()
+        .all(|(_, r)| !matches!(r, megadc::viprip::Response::Failed(_))));
     secs
 }
 
@@ -53,7 +60,12 @@ fn allocate_switch_pods(num_apps: usize, num_switches: usize, k: usize, pods: us
         for a in 0..per_pod_apps {
             st.register_app(a);
             for _ in 0..k {
-                mgr.submit(Priority::Normal, Request::NewVip { app: AppId(a as u32) });
+                mgr.submit(
+                    Priority::Normal,
+                    Request::NewVip {
+                        app: AppId(a as u32),
+                    },
+                );
             }
         }
         mgr.process_all(&mut st);
@@ -63,7 +75,13 @@ fn allocate_switch_pods(num_apps: usize, num_switches: usize, k: usize, pods: us
 
 /// Run the decision-space report.
 pub fn run(quick: bool) -> String {
-    let mut t = Table::new(["apps", "switches", "VIPs/app", "log10 A^(L·k) (paper)", "log10 L^(A·k)"]);
+    let mut t = Table::new([
+        "apps",
+        "switches",
+        "VIPs/app",
+        "log10 A^(L·k) (paper)",
+        "log10 L^(A·k)",
+    ]);
     for &(a, l, k) in &[
         (10_000u64, 20u64, 3u64),
         (100_000, 150, 3),
@@ -84,7 +102,13 @@ pub fn run(quick: bool) -> String {
     } else {
         &[(2_000, 8), (10_000, 16), (20_000, 32)]
     };
-    let mut t2 = Table::new(["apps", "switches", "flat alloc (ms)", "switch-pods ×8 (ms)", "VIPs placed"]);
+    let mut t2 = Table::new([
+        "apps",
+        "switches",
+        "flat alloc (ms)",
+        "switch-pods ×8 (ms)",
+        "VIPs placed",
+    ]);
     for &(a, l) in sizes {
         let flat = allocate_flat(a, l, 3);
         let hier = allocate_switch_pods(a, l.max(8), 3, 8);

@@ -15,7 +15,9 @@
 
 use dcsim::table::{fnum, Table};
 use lbswitch::SwitchLimits;
-use megadc::twolayer::{count_single_layer_conflicts, demand_distribution_switches, TwoLayerFabric};
+use megadc::twolayer::{
+    count_single_layer_conflicts, demand_distribution_switches, TwoLayerFabric,
+};
 use megadc::{Platform, PlatformConfig};
 use std::collections::BTreeMap;
 
@@ -66,8 +68,18 @@ fn conflict_rate(total_demand_bps: f64, epochs: u64) -> (usize, usize, f64) {
 /// Run the conflict analysis + two-layer costing.
 pub fn run(quick: bool) -> String {
     let epochs = if quick { 30 } else { 90 };
-    let mut t = Table::new(["total demand (Gbps)", "VIPs", "conflicted VIPs", "conflict rate", "two-layer conflicts"]);
-    for &d in if quick { &[30e9][..] } else { &[15e9, 30e9, 45e9][..] } {
+    let mut t = Table::new([
+        "total demand (Gbps)",
+        "VIPs",
+        "conflicted VIPs",
+        "conflict rate",
+        "two-layer conflicts",
+    ]);
+    for &d in if quick {
+        &[30e9][..]
+    } else {
+        &[15e9, 30e9, 45e9][..]
+    } {
         let (c, n, rate) = conflict_rate(d, epochs);
         t.row([
             fnum(d / 1e9, 0),
@@ -81,10 +93,22 @@ pub fn run(quick: bool) -> String {
     // The decoupling mechanism itself, demonstrated end-to-end on the
     // fabric model: reweighting m-VIPs moves pod-side load without
     // changing anything the external side can observe.
-    let mut fabric = TwoLayerFabric::new(2, 2, SwitchLimits { max_vips: 64, max_rips: 256, ..SwitchLimits::CISCO_CATALYST });
+    let mut fabric = TwoLayerFabric::new(
+        2,
+        2,
+        SwitchLimits {
+            max_vips: 64,
+            max_rips: 256,
+            ..SwitchLimits::CISCO_CATALYST
+        },
+    );
     let (evips, mvips) = fabric.add_app(3, 2).expect("capacity");
-    fabric.bind_rip(mvips[0], lbswitch::RipAddr(1000), 1.0).expect("capacity");
-    fabric.bind_rip(mvips[1], lbswitch::RipAddr(1001), 1.0).expect("capacity");
+    fabric
+        .bind_rip(mvips[0], lbswitch::RipAddr(1000), 1.0)
+        .expect("capacity");
+    fabric
+        .bind_rip(mvips[1], lbswitch::RipAddr(1001), 1.0)
+        .expect("capacity");
     let mut demand = BTreeMap::new();
     for &e in &evips {
         demand.insert(e, 1e9);
@@ -125,6 +149,6 @@ mod tests {
         assert!(n > 0);
         // Under skewed demand some VIPs always sit in the contested
         // quadrants; the exact rate varies by seed.
-        assert!(rate >= 0.0 && rate <= 1.0);
+        assert!((0.0..=1.0).contains(&rate));
     }
 }

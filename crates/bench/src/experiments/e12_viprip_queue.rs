@@ -59,7 +59,14 @@ fn storm(num_apps: usize, vms_per_app: usize) -> Outcome {
         }
     }
     for (i, &(app, vm)) in vms.iter().enumerate() {
-        mgr.submit(Priority::Normal, Request::NewRip { app, vm, weight: 1.0 });
+        mgr.submit(
+            Priority::Normal,
+            Request::NewRip {
+                app,
+                vm,
+                weight: 1.0,
+            },
+        );
         if i % 7 == 0 {
             mgr.submit(Priority::High, Request::SetWeight { vm, weight: 2.0 });
         }
@@ -91,7 +98,10 @@ fn storm(num_apps: usize, vms_per_app: usize) -> Outcome {
     // priority means it runs *before* the Normal NewRip; that is the
     // serialization semantics working as specified, and those failures
     // are expected.
-    let failures = out.iter().filter(|(_, r)| matches!(r, Response::Failed(_))).count() as u64;
+    let failures = out
+        .iter()
+        .filter(|(_, r)| matches!(r, Response::Failed(_)))
+        .count() as u64;
     let violations = st
         .switches
         .iter()
@@ -109,8 +119,11 @@ fn storm(num_apps: usize, vms_per_app: usize) -> Outcome {
 
 /// Run the storm at several scales.
 pub fn run(quick: bool) -> String {
-    let sizes: &[(usize, usize)] =
-        if quick { &[(500, 4)] } else { &[(500, 4), (2_000, 4), (10_000, 4)] };
+    let sizes: &[(usize, usize)] = if quick {
+        &[(500, 4)]
+    } else {
+        &[(500, 4), (2_000, 4), (10_000, 4)]
+    };
     let mut t = Table::new([
         "apps",
         "requests",

@@ -95,7 +95,9 @@ pub fn run(quick: bool) -> String {
             fnum(o.served_before, 3),
             fnum(o.served_at_failure, 3),
             fnum(o.served_recovered, 3),
-            o.recovery_epochs.map(|e| e.to_string()).unwrap_or_else(|| "—".into()),
+            o.recovery_epochs
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "—".into()),
         ]);
     }
     format!(

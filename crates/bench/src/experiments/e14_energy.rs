@@ -31,7 +31,10 @@ fn run_level(demand_bps: f64, epochs: u64) -> Outcome {
 
     let model = PowerModel::COMMODITY;
     let pods: Vec<PodId> = (0..p.state.num_pods()).map(|i| PodId(i as u32)).collect();
-    let before: Vec<_> = pods.iter().map(|&q| energy_report(&p.state, q, &model)).collect();
+    let before: Vec<_> = pods
+        .iter()
+        .map(|&q| energy_report(&p.state, q, &model))
+        .collect();
     let now = p.now();
     let mut migrations = 0;
     for &q in &pods {
@@ -39,9 +42,14 @@ fn run_level(demand_bps: f64, epochs: u64) -> Outcome {
         migrations += apply_consolidation(&mut p.state, &moves, now);
     }
     // Let migrations complete (fleet time jump; metrics unaffected).
-    p.state.fleet.complete_transitions(now + dcsim::SimDuration::from_secs(36_000));
+    p.state
+        .fleet
+        .complete_transitions(now + dcsim::SimDuration::from_secs(36_000));
     let _ = SimTime::ZERO;
-    let after: Vec<_> = pods.iter().map(|&q| energy_report(&p.state, q, &model)).collect();
+    let after: Vec<_> = pods
+        .iter()
+        .map(|&q| energy_report(&p.state, q, &model))
+        .collect();
     p.state.assert_invariants();
 
     let max_util_after = p
@@ -64,7 +72,11 @@ fn run_level(demand_bps: f64, epochs: u64) -> Outcome {
 /// Run the energy sweep.
 pub fn run(quick: bool) -> String {
     let epochs = if quick { 20 } else { 60 };
-    let levels: &[f64] = if quick { &[10e9] } else { &[5e9, 10e9, 20e9, 35e9] };
+    let levels: &[f64] = if quick {
+        &[10e9]
+    } else {
+        &[5e9, 10e9, 20e9, 35e9]
+    };
     let mut t = Table::new([
         "demand (Gbps)",
         "vacant before",
@@ -105,7 +117,11 @@ mod tests {
     #[test]
     fn consolidation_saves_power_at_low_load() {
         let o = super::run_level(5e9, 10);
-        assert!(o.vacant_after >= o.vacant_before, "{o:?}", o = o.vacant_after);
+        assert!(
+            o.vacant_after >= o.vacant_before,
+            "{o:?}",
+            o = o.vacant_after
+        );
         assert!(o.watts_after <= o.watts_before + 1e-9);
     }
 }

@@ -44,16 +44,30 @@ fn run_case(stale_fraction: f64, seed: u64) -> Outcome {
     cfg.dns.stale_fraction = stale_fraction;
     let mut st = PlatformState::new(cfg);
     let app = st.register_app(0);
-    let v1 = st.allocate_vip(app, lbswitch::SwitchId(0)).expect("capacity");
-    let v2 = st.allocate_vip(app, lbswitch::SwitchId(1)).expect("capacity");
-    st.advertise_vip(v1, dcnet::access::AccessRouterId(0), SimTime::ZERO).expect("fresh");
-    st.advertise_vip(v2, dcnet::access::AccessRouterId(1), SimTime::ZERO).expect("fresh");
-    st.add_instance_running(app, ServerId(0), v1, 1.0).expect("capacity");
-    st.add_instance_running(app, ServerId(1), v2, 1.0).expect("capacity");
-    st.dns.set_exposure(0, vec![(v1, 1.0), (v2, 1.0)], SimTime::ZERO);
+    let v1 = st
+        .allocate_vip(app, lbswitch::SwitchId(0))
+        .expect("capacity");
+    let v2 = st
+        .allocate_vip(app, lbswitch::SwitchId(1))
+        .expect("capacity");
+    st.advertise_vip(v1, dcnet::access::AccessRouterId(0), SimTime::ZERO)
+        .expect("fresh");
+    st.advertise_vip(v2, dcnet::access::AccessRouterId(1), SimTime::ZERO)
+        .expect("fresh");
+    st.add_instance_running(app, ServerId(0), v1, 1.0)
+        .expect("capacity");
+    st.add_instance_running(app, ServerId(1), v2, 1.0)
+        .expect("capacity");
+    st.dns
+        .set_exposure(0, vec![(v1, 1.0), (v2, 1.0)], SimTime::ZERO);
 
     let start = SimTime::ZERO + st.routes.convergence();
-    let scfg = SessionConfig { arrival_rate: 8.0, duration_mu: 3.0, duration_sigma: 0.8, seed };
+    let scfg = SessionConfig {
+        arrival_rate: 8.0,
+        duration_mu: 3.0,
+        duration_sigma: 0.8,
+        seed,
+    };
     let mut sim = SessionSimulator::new(&st, scfg, start);
     // Reach steady state, then drain v1.
     let t_drain = start + SimDuration::from_secs(600);
@@ -73,7 +87,11 @@ fn run_case(stale_fraction: f64, seed: u64) -> Outcome {
             t_drain + SimDuration::from_secs(10 * 3600),
         )
         .expect("sessions eventually end");
-    Outcome { fluid_s: fluid, exact_s: (exact - t_drain).as_secs_f64(), live_at_drain: live }
+    Outcome {
+        fluid_s: fluid,
+        exact_s: (exact - t_drain).as_secs_f64(),
+        live_at_drain: live,
+    }
 }
 
 /// Run the validation sweep.

@@ -15,6 +15,7 @@ pub mod e12_viprip_queue;
 pub mod e13_failures;
 pub mod e14_energy;
 pub mod e15_session_quiescence;
+pub mod e16_proactive_elasticity;
 
 /// Run one experiment by id (`"e1"` … `"e14"`), returning its rendered
 /// report. `quick` shrinks sweeps for CI.
@@ -35,6 +36,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
         "e13" => e13_failures::run(quick),
         "e14" => e14_energy::run(quick),
         "e15" => e15_session_quiescence::run(quick),
+        "e16" => e16_proactive_elasticity::run(quick),
         _ => return None,
     })
 }

@@ -7,6 +7,7 @@
 
 use dcdns::DnsConfig;
 use dcsim::SimDuration;
+use elastic::ElasticConfig;
 use lbswitch::SwitchLimits;
 use serde::{Deserialize, Serialize};
 use vmm::{CostModel, ServerSpec};
@@ -164,6 +165,10 @@ pub struct PlatformConfig {
     pub quiescence_share: f64,
     /// Knob ablation switches (default: all on).
     pub knobs: KnobFlags,
+    /// Proactive elasticity control plane (forecasting + predictive
+    /// autoscaling + arbitration). Disabled by default: the platform
+    /// stays purely reactive unless an experiment opts in.
+    pub elastic: ElasticConfig,
 }
 
 impl PlatformConfig {
@@ -208,6 +213,7 @@ impl PlatformConfig {
             headroom: 1.2,
             quiescence_share: 0.02,
             knobs: KnobFlags::ALL,
+            elastic: ElasticConfig::default(),
         }
     }
 
@@ -260,7 +266,8 @@ impl PlatformConfig {
         if self.num_switches > 0 {
             return self.num_switches;
         }
-        let avg_vips = self.vips_per_app as f64 + self.popular_fraction * self.popular_extra_vips as f64;
+        let avg_vips =
+            self.vips_per_app as f64 + self.popular_fraction * self.popular_extra_vips as f64;
         let by_tables = self.switch_limits.switches_required(
             self.num_apps as u64,
             avg_vips.ceil() as u64,
@@ -319,12 +326,16 @@ impl PlatformConfig {
         if self.vm_cpu_slice <= 0.0 || self.vm_cpu_slice > self.server_spec.cpu {
             return Err("vm_cpu_slice must fit on a server".into());
         }
-        if self.vm_max_cpu_slice < self.vm_cpu_slice || self.vm_max_cpu_slice > self.server_spec.cpu {
+        if self.vm_max_cpu_slice < self.vm_cpu_slice || self.vm_max_cpu_slice > self.server_spec.cpu
+        {
             return Err("vm_max_cpu_slice must be in [vm_cpu_slice, server cpu]".into());
         }
         self.switch_limits.validate();
         self.dns.validate();
         self.cost_model.validate();
+        self.elastic
+            .validate()
+            .map_err(|e| format!("elastic: {e}"))?;
         Ok(())
     }
 
@@ -388,6 +399,17 @@ mod tests {
         let mut cfg = PlatformConfig::small_test();
         cfg.pod_underload_threshold = 0.9;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn elastic_defaults_off_and_validates() {
+        let cfg = PlatformConfig::small_test();
+        assert!(!cfg.elastic.enabled, "proactive plane must be opt-in");
+        let mut cfg = cfg;
+        cfg.elastic = ElasticConfig::proactive();
+        cfg.validate().unwrap();
+        cfg.elastic.autoscaler.target_utilization = 0.0;
+        assert!(cfg.validate().unwrap_err().starts_with("elastic:"));
     }
 
     #[test]

@@ -122,7 +122,11 @@ impl LoadSnapshot {
 /// Mutates the switches' offered-load registers (they are the data plane);
 /// everything else is read-only.
 pub fn propagate(state: &mut PlatformState, app_demand_bps: &[f64], now: SimTime) -> LoadSnapshot {
-    assert_eq!(app_demand_bps.len(), state.num_apps(), "demand vector covers all apps");
+    assert_eq!(
+        app_demand_bps.len(),
+        state.num_apps(),
+        "demand vector covers all apps"
+    );
     let profile = state.config.request_profile;
     let mut snap = LoadSnapshot {
         time: now,
@@ -158,7 +162,11 @@ pub fn propagate(state: &mut PlatformState, app_demand_bps: &[f64], now: SimTime
             *snap.vip_demand_bps.entry(vip).or_insert(0.0) += vd;
             let per_router = vd / routes.len() as f64;
             for r in routes {
-                let links: Vec<_> = state.access.links_at_router(r.router).map(|l| l.id).collect();
+                let links: Vec<_> = state
+                    .access
+                    .links_at_router(r.router)
+                    .map(|l| l.id)
+                    .collect();
                 if links.is_empty() {
                     continue;
                 }
@@ -246,11 +254,14 @@ mod tests {
         let app = st.register_app(0);
         let v0 = st.allocate_vip(app, SwitchId(0)).unwrap();
         let v1 = st.allocate_vip(app, SwitchId(1)).unwrap();
-        st.advertise_vip(v0, AccessRouterId(0), SimTime::ZERO).unwrap();
-        st.advertise_vip(v1, AccessRouterId(1), SimTime::ZERO).unwrap();
+        st.advertise_vip(v0, AccessRouterId(0), SimTime::ZERO)
+            .unwrap();
+        st.advertise_vip(v1, AccessRouterId(1), SimTime::ZERO)
+            .unwrap();
         st.add_instance_running(app, ServerId(0), v0, 1.0).unwrap();
         st.add_instance_running(app, ServerId(1), v1, 1.0).unwrap();
-        st.dns.set_exposure(0, vec![(v0, 1.0), (v1, 1.0)], SimTime::ZERO);
+        st.dns
+            .set_exposure(0, vec![(v0, 1.0), (v1, 1.0)], SimTime::ZERO);
         st
     }
 
@@ -308,7 +319,11 @@ mod tests {
         // 16 Gbps total → 8 Gbps per switch, capacity 4 Gbps → 4 Gbps
         // overflow per switch (plus VM-slice losses on the served part).
         let snap = propagate(&mut st, &[16e9], now);
-        assert!(snap.total_unserved_bps() >= 8e9 - 1e3, "unserved {}", snap.total_unserved_bps());
+        assert!(
+            snap.total_unserved_bps() >= 8e9 - 1e3,
+            "unserved {}",
+            snap.total_unserved_bps()
+        );
     }
 
     #[test]
@@ -320,7 +335,13 @@ mod tests {
         let vip = st.app(app).unwrap().vips[0];
         let vm = st
             .fleet
-            .create_vm(ServerId(2), 0, st.config.vm_cpu_slice, st.config.vm_mem_mb, now)
+            .create_vm(
+                ServerId(2),
+                0,
+                st.config.vm_cpu_slice,
+                st.config.vm_mem_mb,
+                now,
+            )
             .unwrap();
         st.bind_rip(vip, vm, 1.0).unwrap();
         let snap = propagate(&mut st, &[2e9], now);

@@ -32,7 +32,11 @@ pub struct PowerModel {
 
 impl PowerModel {
     /// Typical commodity-server numbers of the paper's era.
-    pub const COMMODITY: PowerModel = PowerModel { idle_w: 150.0, peak_w: 250.0, sleep_w: 10.0 };
+    pub const COMMODITY: PowerModel = PowerModel {
+        idle_w: 150.0,
+        peak_w: 250.0,
+        sleep_w: 10.0,
+    };
 
     /// Power draw of one awake server at the given CPU utilization.
     pub fn awake_watts(&self, utilization: f64) -> f64 {
@@ -95,12 +99,7 @@ pub fn plan_consolidation(state: &PlatformState, pod: PodId) -> Vec<Move> {
         if receivers.contains(&src) {
             continue; // packing host; pinned awake by planned inbound VMs
         }
-        let vms: Vec<&vmm::Vm> = state
-            .fleet
-            .server(src)
-            .expect("valid")
-            .vms()
-            .collect();
+        let vms: Vec<&vmm::Vm> = state.fleet.server(src).expect("valid").vms().collect();
         // Only running VMs can migrate; a single non-running VM pins the
         // server awake.
         if !vms.iter().all(|vm| matches!(vm.state, VmState::Running)) {
@@ -123,8 +122,7 @@ pub fn plan_consolidation(state: &PlatformState, pod: PodId) -> Vec<Move> {
                 .iter()
                 .filter(|&(&s, _)| s != src && !drained.contains(&s))
                 .filter(|&(&s, _)| {
-                    receivers.contains(&s)
-                        || state.fleet.server(s).expect("valid").cpu_used() > 0.0
+                    receivers.contains(&s) || state.fleet.server(s).expect("valid").cpu_used() > 0.0
                 })
                 .filter(|&(&s, &cpu)| cpu >= vm.cpu_slice && trial_mem[&s] >= vm.mem_mb)
                 .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
@@ -213,7 +211,12 @@ pub fn energy_report(state: &PlatformState, pod: PodId, model: &PowerModel) -> E
             consolidated += model.awake_watts(util);
         }
     }
-    EnergyReport { servers, vacant, all_awake_watts: awake, consolidated_watts: consolidated }
+    EnergyReport {
+        servers,
+        vacant,
+        all_awake_watts: awake,
+        consolidated_watts: consolidated,
+    }
 }
 
 #[cfg(test)]
@@ -273,7 +276,10 @@ mod tests {
             st.fleet.adjust_slice(vm, 5.0).unwrap();
         }
         let moves = plan_consolidation(&st, PodId(0));
-        assert!(moves.is_empty(), "5-cpu VMs cannot pack on 8-cpu servers: {moves:?}");
+        assert!(
+            moves.is_empty(),
+            "5-cpu VMs cannot pack on 8-cpu servers: {moves:?}"
+        );
     }
 
     #[test]
@@ -284,9 +290,9 @@ mod tests {
             .create_vm(ServerId(0), 1, 1.0, st.config.vm_mem_mb, SimTime::ZERO)
             .unwrap();
         let moves = plan_consolidation(&st, PodId(0));
-        assert!(moves.iter().all(|m| {
-            st.fleet.locate(m.vm).unwrap() != ServerId(0)
-        }));
+        assert!(moves
+            .iter()
+            .all(|m| { st.fleet.locate(m.vm).unwrap() != ServerId(0) }));
     }
 
     #[test]

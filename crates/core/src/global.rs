@@ -141,7 +141,12 @@ impl GlobalManager {
     /// switches"). For apps losing a noticeable demand fraction, reweight
     /// DNS answers by each covered VIP's serving capacity (its RIP count)
     /// discounted by its switch's load.
-    fn refresh_capacity_exposure(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+    fn refresh_capacity_exposure(
+        &mut self,
+        state: &mut PlatformState,
+        snap: &LoadSnapshot,
+        now: SimTime,
+    ) {
         const UNSERVED_TRIGGER: f64 = 0.05;
         const MAX_APPS_PER_EPOCH: usize = 50;
         let mut worst: Vec<(AppId, f64)> = state
@@ -187,7 +192,12 @@ impl GlobalManager {
 
     // ---- knob 1: selective VIP exposure (§IV.A) -------------------------
 
-    fn balance_access_links(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+    fn balance_access_links(
+        &mut self,
+        state: &mut PlatformState,
+        snap: &LoadSnapshot,
+        now: SimTime,
+    ) {
         let utils = snap.link_utilizations(state);
         let threshold = state.config.link_overload_threshold;
         let Some((hot_link, &hot_util)) = utils
@@ -206,7 +216,11 @@ impl GlobalManager {
         for (vip, rec) in state.vips() {
             let Some(router) = rec.router else { continue };
             // Symmetric access network: link index == router index.
-            let Some(link) = state.access.links_at_router(router).next().map(|l| l.id.index())
+            let Some(link) = state
+                .access
+                .links_at_router(router)
+                .next()
+                .map(|l| l.id.index())
             else {
                 continue;
             };
@@ -369,12 +383,22 @@ impl GlobalManager {
                     .vips
                     .iter()
                     .map(|&v| {
-                        let w = if v == vip || state.vip_rip_count(v) == 0 { 0.0 } else { 1.0 };
+                        let w = if v == vip || state.vip_rip_count(v) == 0 {
+                            0.0
+                        } else {
+                            1.0
+                        };
                         (v, w)
                     })
                     .collect();
                 state.dns.set_exposure(app.dns_key(), weights, now);
-                self.draining.insert(vip, Drain { target, started: now });
+                self.draining.insert(
+                    vip,
+                    Drain {
+                        target,
+                        started: now,
+                    },
+                );
                 self.counters.vip_drains_started += 1;
                 started += 1;
                 break;
@@ -395,7 +419,9 @@ impl GlobalManager {
                     && sw.rip_slots_free() >= rips_needed
             })
             .min_by(|(_, a), (_, b)| {
-                a.utilization().partial_cmp(&b.utilization()).expect("finite")
+                a.utilization()
+                    .partial_cmp(&b.utilization())
+                    .expect("finite")
             })
             .map(|(_, sw)| sw.id())
     }
@@ -470,11 +496,18 @@ impl GlobalManager {
                 continue;
             }
             let rec = *state.vip(vip).expect("listed");
-            let cfg = state.switches[rec.switch.0 as usize].vip(vip).expect("configured").clone();
+            let cfg = state.switches[rec.switch.0 as usize]
+                .vip(vip)
+                .expect("configured")
+                .clone();
             for entry in cfg.rips {
-                let Ok(rip_rec) = state.rip(entry.rip) else { continue };
+                let Ok(rip_rec) = state.rip(entry.rip) else {
+                    continue;
+                };
                 let vm = rip_rec.vm;
-                let Ok(srv) = state.fleet.locate(vm) else { continue };
+                let Ok(srv) = state.fleet.locate(vm) else {
+                    continue;
+                };
                 let pod = state.pod_of(srv);
                 let factor = if pod == hot {
                     0.7
@@ -485,7 +518,10 @@ impl GlobalManager {
                 };
                 self.viprip.submit(
                     Priority::High,
-                    Request::SetWeight { vm, weight: (entry.weight * factor).max(0.01) },
+                    Request::SetWeight {
+                        vm,
+                        weight: (entry.weight * factor).max(0.01),
+                    },
                 );
                 self.counters.interpod_weight_adjustments += 1;
             }
@@ -522,19 +558,21 @@ impl GlobalManager {
             if load <= 0.0 {
                 break;
             }
-            let Some(&src) = app_src_vm.get(&app) else { continue };
+            let Some(&src) = app_src_vm.get(&app) else {
+                continue;
+            };
             // First cold-pod server with room.
             let spec_cpu = state.config.vm_cpu_slice;
             let mem = state.config.vm_mem_mb;
-            let Some(target) = state
-                .pod_servers(cold)
-                .iter()
-                .copied()
-                .find(|&s| {
-                    state.server_healthy(s)
-                        && state.fleet.server(s).expect("valid").fits(spec_cpu, mem).is_ok()
-                })
-            else {
+            let Some(target) = state.pod_servers(cold).iter().copied().find(|&s| {
+                state.server_healthy(s)
+                    && state
+                        .fleet
+                        .server(s)
+                        .expect("valid")
+                        .fits(spec_cpu, mem)
+                        .is_ok()
+            }) else {
                 break; // cold pod full — fall through to server transfer
             };
             if let Ok(vm) = state.fleet.clone_vm(src, target, now) {
@@ -553,7 +591,11 @@ impl GlobalManager {
                 Ok(vm) if matches!(vm.state, VmState::Running) => {
                     self.viprip.submit(
                         Priority::Normal,
-                        Request::NewRip { app: pd.app, vm: pd.vm, weight: 1.0 },
+                        Request::NewRip {
+                            app: pd.app,
+                            vm: pd.vm,
+                            weight: 1.0,
+                        },
                     );
                     self.counters.deployments_completed += 1;
                 }
@@ -564,7 +606,12 @@ impl GlobalManager {
         self.pending_deployments = still_pending;
     }
 
-    fn transfer_vacant_servers(&mut self, state: &mut PlatformState, donor: PodId, recipient: PodId) {
+    fn transfer_vacant_servers(
+        &mut self,
+        state: &mut PlatformState,
+        donor: PodId,
+        recipient: PodId,
+    ) {
         if donor == recipient {
             return;
         }
@@ -609,8 +656,12 @@ impl GlobalManager {
                     .max(1.0);
                 to_move = to_move.max((over_vms as f64 / avg).ceil() as usize);
             }
-            let movers: Vec<ServerId> =
-                state.pod_servers(pod).iter().copied().take(to_move).collect();
+            let movers: Vec<ServerId> = state
+                .pod_servers(pod)
+                .iter()
+                .copied()
+                .take(to_move)
+                .collect();
             for s in movers {
                 if state.pod_servers(pod).len() <= 1 {
                     break;
@@ -650,13 +701,17 @@ mod tests {
         let v00 = st.allocate_vip(a0, SwitchId(0)).unwrap();
         let v01 = st.allocate_vip(a0, SwitchId(1)).unwrap();
         let v10 = st.allocate_vip(a1, SwitchId(0)).unwrap();
-        st.advertise_vip(v00, AccessRouterId(0), SimTime::ZERO).unwrap();
-        st.advertise_vip(v01, AccessRouterId(1), SimTime::ZERO).unwrap();
-        st.advertise_vip(v10, AccessRouterId(0), SimTime::ZERO).unwrap();
+        st.advertise_vip(v00, AccessRouterId(0), SimTime::ZERO)
+            .unwrap();
+        st.advertise_vip(v01, AccessRouterId(1), SimTime::ZERO)
+            .unwrap();
+        st.advertise_vip(v10, AccessRouterId(0), SimTime::ZERO)
+            .unwrap();
         st.add_instance_running(a0, ServerId(0), v00, 1.0).unwrap();
         st.add_instance_running(a0, ServerId(2), v01, 1.0).unwrap();
         st.add_instance_running(a1, ServerId(4), v10, 1.0).unwrap();
-        st.dns.set_exposure(0, vec![(v00, 1.0), (v01, 1.0)], SimTime::ZERO);
+        st.dns
+            .set_exposure(0, vec![(v00, 1.0), (v01, 1.0)], SimTime::ZERO);
         st.dns.set_exposure(1, vec![(v10, 1.0)], SimTime::ZERO);
         st
     }
@@ -675,7 +730,11 @@ mod tests {
         assert!(snap.link_utilizations(&st)[0] > 0.8);
         let mut gm = GlobalManager::new();
         gm.epoch(&mut st, &snap, now);
-        assert!(gm.counters.exposure_updates >= 1, "counters {:?}", gm.counters);
+        assert!(
+            gm.counters.exposure_updates >= 1,
+            "counters {:?}",
+            gm.counters
+        );
         // After the TTL, link 0 load drops.
         let later = now + st.config.dns.ttl * 2;
         let snap2 = propagate(&mut st, &[7e9, 1e9], later);
@@ -705,14 +764,17 @@ mod tests {
         // Walk time forward past the stale residue until quiescent.
         let mut t = now;
         for _ in 0..2000 {
-            t = t + st.config.epoch;
+            t += st.config.epoch;
             let snap = propagate(&mut st, &[5e9, 1e9], t);
             gm.epoch(&mut st, &snap, t);
             if gm.counters.vip_transfers_completed > 0 {
                 break;
             }
         }
-        assert_eq!(gm.counters.vip_transfers_completed, 1, "transfer never completed");
+        assert_eq!(
+            gm.counters.vip_transfers_completed, 1,
+            "transfer never completed"
+        );
         // The VIP moved off switch 0.
         assert_ne!(st.vip(vip).unwrap().switch, SwitchId(0));
         st.assert_invariants();
@@ -734,7 +796,10 @@ mod tests {
                 "pod {p} still an elephant"
             );
         }
-        assert!(st.num_pods() > 2, "expected new pods to absorb the overflow");
+        assert!(
+            st.num_pods() > 2,
+            "expected new pods to absorb the overflow"
+        );
         st.assert_invariants();
     }
 

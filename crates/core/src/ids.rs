@@ -68,7 +68,11 @@ impl AddressPool {
 
     /// Pool with at most `limit` addresses live at once.
     pub fn bounded(limit: u32) -> Self {
-        AddressPool { next: 0, free: Vec::new(), limit: Some(limit) }
+        AddressPool {
+            next: 0,
+            free: Vec::new(),
+            limit: Some(limit),
+        }
     }
 
     /// Allocate an address, or `None` if the pool is exhausted.

@@ -27,6 +27,7 @@ use crate::state::PlatformState;
 use crate::viprip::{Priority, Request, Response};
 use dcsim::metrics::{Counter, Samples, TimeSeries};
 use dcsim::SimTime;
+use elastic::{AppObservation, ElasticController, ProposedAction};
 use rayon::prelude::*;
 use vmm::{VmId, VmState};
 use workload::Workload;
@@ -54,6 +55,14 @@ pub struct PlatformMetrics {
     pub instance_starts: Counter,
     /// Pod-initiated instance stops.
     pub instance_stops: Counter,
+    /// Proactive (forecast-driven) instance deployments started.
+    pub proactive_deployments: Counter,
+    /// Proactive instance retirements.
+    pub proactive_retirements: Counter,
+    /// Proactive VM slice adjustments applied.
+    pub proactive_slice_adjustments: Counter,
+    /// Proactive RIP reweight requests submitted.
+    pub proactive_reweights: Counter,
 }
 
 /// Summary of a multi-epoch run.
@@ -89,6 +98,9 @@ pub struct Platform {
     epochs: u64,
     /// The most recent load snapshot (None before the first step).
     last_snapshot: Option<LoadSnapshot>,
+    /// The proactive control plane (None when `config.elastic.enabled`
+    /// is false — the reactive-only baseline).
+    elastic: Option<ElasticController>,
 }
 
 impl Platform {
@@ -110,11 +122,13 @@ impl Platform {
         }
 
         // Register apps and allocate their VIPs through the §III.C policy.
-        for a in 0..config.num_apps {
-            let app = state.register_app(rank_of[a]);
+        for (a, &rank) in rank_of.iter().enumerate() {
+            let app = state.register_app(rank);
             debug_assert_eq!(app.0 as usize, a);
-            for _ in 0..config.vips_for_rank(rank_of[a]) {
-                global.viprip.submit(Priority::Normal, Request::NewVip { app });
+            for _ in 0..config.vips_for_rank(rank) {
+                global
+                    .viprip
+                    .submit(Priority::Normal, Request::NewVip { app });
             }
         }
         for (req, resp) in global.viprip.process_all(&mut state) {
@@ -171,9 +185,7 @@ impl Platform {
                             .fits(config.vm_cpu_slice, config.vm_mem_mb)
                             .is_ok()
                     })
-                    .ok_or_else(|| {
-                        format!("no capacity in {pod} for initial instance of {app}")
-                    })?;
+                    .ok_or_else(|| format!("no capacity in {pod} for initial instance of {app}"))?;
                 let vm = state
                     .fleet
                     .create_vm_running(server, app.0, config.vm_cpu_slice, config.vm_mem_mb)
@@ -182,7 +194,14 @@ impl Platform {
             }
         }
         for (app, vm) in vm_queue {
-            global.viprip.submit(Priority::Normal, Request::NewRip { app, vm, weight: 1.0 });
+            global.viprip.submit(
+                Priority::Normal,
+                Request::NewRip {
+                    app,
+                    vm,
+                    weight: 1.0,
+                },
+            );
         }
         for (req, resp) in global.viprip.process_all(&mut state) {
             if let Response::Failed(msg) = resp {
@@ -201,10 +220,34 @@ impl Platform {
             state.dns.set_exposure(app.dns_key(), weights, t0);
         }
 
-        let pod_managers = (0..state.num_pods()).map(|p| PodManager::new(PodId(p as u32))).collect();
+        let pod_managers = (0..state.num_pods())
+            .map(|p| PodManager::new(PodId(p as u32)))
+            .collect();
         // Start the clock after route convergence so epoch 0 sees live
         // routes (the build happened "yesterday").
         let now = t0 + config.route_convergence;
+
+        // Proactive plane: warm each app's predictor with the demand
+        // history between t0 and now (the platform existed before epoch
+        // 0), so forecasts are live from the first epoch.
+        let elastic = config.elastic.enabled.then(|| {
+            let mut ctl = ElasticController::new(config.elastic, config.num_apps);
+            let epoch_s = config.epoch.as_secs_f64();
+            let history = ((now.since(t0).as_secs_f64() / epoch_s).floor() as usize).min(8);
+            if history > 0 {
+                let start = now - config.epoch * history as u64;
+                let profile = config.request_profile;
+                for app in 0..config.num_apps as u32 {
+                    let series: Vec<f64> = workload
+                        .demand_series(app, start, config.epoch, history)
+                        .into_iter()
+                        .map(|bps| profile.cpu_demand(profile.rps_for_bandwidth(bps)))
+                        .collect();
+                    ctl.warm_up(app, &series);
+                }
+            }
+            ctl
+        });
         Ok(Platform {
             state,
             workload,
@@ -214,6 +257,7 @@ impl Platform {
             now,
             epochs: 0,
             last_snapshot: None,
+            elastic,
         })
     }
 
@@ -263,6 +307,11 @@ impl Platform {
             self.apply_pod_plan(plan, now);
         }
 
+        // Proactive plane (when enabled): forecast next epochs' demand
+        // and actuate ahead of it. Runs before the global epoch so its
+        // VIP/RIP submissions ride this epoch's serialized queue.
+        self.proactive_phase(&snap, now);
+
         // Global knobs + the serialized VIP/RIP queue.
         self.global.epoch(&mut self.state, &snap, now);
 
@@ -279,15 +328,261 @@ impl Platform {
 
         // Metrics.
         let m = &mut self.metrics;
-        m.link_util_max.record(now, max_of(&snap.link_utilizations(&self.state)));
+        m.link_util_max
+            .record(now, max_of(&snap.link_utilizations(&self.state)));
         m.link_fairness.record(now, snap.link_fairness(&self.state));
-        m.switch_util_max.record(now, max_of(&snap.switch_utilizations(&self.state)));
-        m.pod_util_max.record(now, max_of(&snap.pod_utilizations(&self.state)));
+        m.switch_util_max
+            .record(now, max_of(&snap.switch_utilizations(&self.state)));
+        m.pod_util_max
+            .record(now, max_of(&snap.pod_utilizations(&self.state)));
         m.served_fraction.record(now, snap.served_fraction());
 
         self.epochs += 1;
         self.last_snapshot = Some(snap.clone());
         snap
+    }
+
+    /// The proactive controller, when enabled.
+    pub fn elastic(&self) -> Option<&ElasticController> {
+        self.elastic.as_ref()
+    }
+
+    /// Mean absolute percentage error of the proactive one-step demand
+    /// forecasts so far (None when disabled or before the second epoch).
+    pub fn forecast_mape(&self) -> Option<f64> {
+        self.elastic.as_ref().and_then(|c| c.mape())
+    }
+
+    /// One epoch of the proactive control plane: observe → forecast →
+    /// autoscale → arbitrate → actuate. No-op when disabled.
+    fn proactive_phase(&mut self, snap: &LoadSnapshot, now: SimTime) {
+        if self.elastic.is_none() {
+            return;
+        }
+        let cfg = self.state.config;
+        let profile = cfg.request_profile;
+
+        // Observe every app in one fleet sweep: provisioned capacity,
+        // instance counts (booting clones included, so in-flight
+        // scale-outs are not repeated), and the largest current slice.
+        let num_apps = cfg.num_apps;
+        let mut capacity = vec![0.0f64; num_apps];
+        let mut instances = vec![0u32; num_apps];
+        let mut top_slice = vec![0.0f64; num_apps];
+        for server in self.state.fleet.servers() {
+            for vm in server.vms() {
+                let a = vm.app as usize;
+                instances[a] += 1;
+                if vm.state.serves_traffic() {
+                    capacity[a] += vm.cpu_slice;
+                }
+                top_slice[a] = top_slice[a].max(vm.cpu_slice);
+            }
+        }
+        let observations: Vec<AppObservation> = (0..num_apps)
+            .map(|a| AppObservation {
+                demand: profile.cpu_demand(profile.rps_for_bandwidth(snap.app_demand_bps[a])),
+                capacity: capacity[a],
+                instances: instances[a],
+                slice: if top_slice[a] > 0.0 {
+                    top_slice[a]
+                } else {
+                    cfg.vm_cpu_slice
+                },
+                min_slice: cfg.vm_cpu_slice,
+                max_slice: cfg.vm_max_cpu_slice,
+            })
+            .collect();
+
+        let actions = self
+            .elastic
+            .as_mut()
+            .expect("checked above")
+            .tick(&observations);
+        if actions.is_empty() {
+            return;
+        }
+        let pod_utils = snap.pod_utilizations(&self.state);
+        for req in actions {
+            self.apply_proactive(req.action, &pod_utils, now);
+        }
+    }
+
+    /// Actuate one arbitrated proactive action through the same
+    /// mechanisms the reactive knobs use.
+    fn apply_proactive(&mut self, action: ProposedAction, pod_utils: &[f64], now: SimTime) {
+        let m = &mut self.metrics;
+        match action {
+            // §IV.F ahead of time: multiplicatively shift the app's
+            // weights from its hottest toward its coldest pod, exactly
+            // as the global manager does for already-overloaded pods.
+            // Multiplicative factors preserve the weight structure the
+            // pod planners maintain (in-pod proportions and the pod's
+            // total weight both scale together); absolute rewrites from
+            // here would go stale and skew VIP splits for good.
+            ProposedAction::Reweight { app } => {
+                let (mut hot, mut cold) = (0usize, 0usize);
+                for (i, &u) in pod_utils.iter().enumerate() {
+                    if u > pod_utils[hot] {
+                        hot = i;
+                    }
+                    if u < pod_utils[cold] {
+                        cold = i;
+                    }
+                }
+                if pod_utils[hot] - pod_utils[cold] < 0.05 {
+                    return; // no meaningful spread to exploit
+                }
+                let (hot, cold) = (PodId(hot as u32), PodId(cold as u32));
+                let vips = self
+                    .state
+                    .app(AppId(app))
+                    .map(|a| a.vips.clone())
+                    .unwrap_or_default();
+                let mut touched = false;
+                for vip in vips {
+                    let pods = self.state.pods_covered_by_vip(vip);
+                    if !(pods.contains(&hot) && pods.contains(&cold)) {
+                        continue;
+                    }
+                    let Ok(rec) = self.state.vip(vip) else {
+                        continue;
+                    };
+                    let cfg = self.state.switches[rec.switch.0 as usize]
+                        .vip(vip)
+                        .expect("configured")
+                        .clone();
+                    for entry in cfg.rips {
+                        let Ok(rip_rec) = self.state.rip(entry.rip) else {
+                            continue;
+                        };
+                        let vm = rip_rec.vm;
+                        let Ok(srv) = self.state.fleet.locate(vm) else {
+                            continue;
+                        };
+                        let factor = match self.state.pod_of(srv) {
+                            p if p == hot => 0.85,
+                            p if p == cold => 1.15,
+                            _ => continue,
+                        };
+                        self.global.viprip.submit(
+                            Priority::High,
+                            Request::SetWeight {
+                                vm,
+                                weight: (entry.weight * factor).max(0.01),
+                            },
+                        );
+                        touched = true;
+                    }
+                }
+                if touched {
+                    m.proactive_reweights.incr();
+                }
+            }
+            // §IV.E ahead of time: walk every serving instance toward the
+            // target slice (transient failures replan next epoch).
+            ProposedAction::SliceAdjust { app, target_slice } => {
+                for vm in self.state.fleet.vms_of_app(app) {
+                    let Ok(rec) = self.state.fleet.vm(vm) else {
+                        continue;
+                    };
+                    if !rec.state.serves_traffic() || (rec.cpu_slice - target_slice).abs() < 1e-9 {
+                        continue;
+                    }
+                    if self.state.fleet.adjust_slice(vm, target_slice).is_ok() {
+                        m.proactive_slice_adjustments.incr();
+                    }
+                }
+            }
+            // §IV.D ahead of time: clone into the coldest pods with room.
+            // The clone boots asynchronously; `bind_missing_rips` brings
+            // it into service the epoch it turns Running.
+            ProposedAction::Deploy { app, instances } => {
+                let Some(src) = self.state.fleet.vms_of_app(app).into_iter().find(|&v| {
+                    matches!(
+                        self.state.fleet.vm(v).map(|x| x.state),
+                        Ok(VmState::Running)
+                    )
+                }) else {
+                    return;
+                };
+                let mut pods: Vec<usize> = (0..pod_utils.len()).collect();
+                pods.sort_by(|&a, &b| {
+                    pod_utils[a]
+                        .partial_cmp(&pod_utils[b])
+                        .expect("finite")
+                        .then(a.cmp(&b))
+                });
+                let spec_cpu = self.state.config.vm_cpu_slice;
+                let mem = self.state.config.vm_mem_mb;
+                let mut remaining = instances;
+                'pods: for p in pods {
+                    for srv in self.state.pod_servers(PodId(p as u32)).to_vec() {
+                        if remaining == 0 {
+                            break 'pods;
+                        }
+                        if !self.state.server_healthy(srv)
+                            || self
+                                .state
+                                .fleet
+                                .server(srv)
+                                .expect("valid")
+                                .fits(spec_cpu, mem)
+                                .is_err()
+                        {
+                            continue;
+                        }
+                        if self.state.fleet.clone_vm(src, srv, now).is_ok() {
+                            m.proactive_deployments.incr();
+                            remaining -= 1;
+                        }
+                    }
+                }
+            }
+            // Scale-in: retire the newest serving instances first (they
+            // are the spike surplus), through the same DeleteRip path the
+            // pod managers use. Never drain a VIP's last RIP — DNS keeps
+            // routing demand to the VIP, which would black-hole it.
+            ProposedAction::Retire { app, instances } => {
+                let mut candidates: Vec<VmId> = self
+                    .state
+                    .fleet
+                    .vms_of_app(app)
+                    .into_iter()
+                    .filter(|&v| {
+                        matches!(
+                            self.state.fleet.vm(v).map(|x| x.state),
+                            Ok(VmState::Running)
+                        ) && self.state.rip_of_vm(v).is_some()
+                    })
+                    .collect();
+                candidates.sort_by_key(|v| std::cmp::Reverse(v.0));
+                let mut pending: std::collections::HashMap<lbswitch::VipAddr, usize> =
+                    std::collections::HashMap::new();
+                let mut remaining = instances as usize;
+                for vm in candidates {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let rip = self.state.rip_of_vm(vm).expect("filtered above");
+                    let Ok(rec) = self.state.rip(rip) else {
+                        continue;
+                    };
+                    let vip = rec.vip;
+                    let left =
+                        self.state.vip_rip_count(vip) - pending.get(&vip).copied().unwrap_or(0);
+                    if left <= 1 {
+                        continue;
+                    }
+                    *pending.entry(vip).or_insert(0) += 1;
+                    self.global
+                        .viprip
+                        .submit(Priority::Low, Request::DeleteRip { vm });
+                    m.proactive_retirements.incr();
+                    remaining -= 1;
+                }
+            }
+        }
     }
 
     fn apply_pod_plan(&mut self, plan: PodPlan, now: SimTime) {
@@ -298,24 +593,30 @@ impl Platform {
         if !knobs.pod_slices && !knobs.pod_instances {
             return; // static provisioning baseline
         }
-        for (vm, cpu) in if knobs.pod_slices { plan.slice_adjustments } else { Vec::new() } {
+        for (vm, cpu) in if knobs.pod_slices {
+            plan.slice_adjustments
+        } else {
+            Vec::new()
+        } {
             // May fail transiently when a co-resident VM grew first; the
             // next round replans around it.
             if self.state.fleet.adjust_slice(vm, cpu).is_ok() {
                 m.slice_adjustments.incr();
             }
         }
-        for (app, server, cpu) in if knobs.pod_instances { plan.new_instances } else { Vec::new() } {
+        for (app, server, cpu) in if knobs.pod_instances {
+            plan.new_instances
+        } else {
+            Vec::new()
+        } {
             // Clone from a running in-pod sibling when possible (fast);
             // fresh boot otherwise.
-            let source = self
-                .state
-                .fleet
-                .vms_of_app(app.0)
-                .into_iter()
-                .find(|&v| {
-                    matches!(self.state.fleet.vm(v).map(|x| x.state), Ok(VmState::Running))
-                });
+            let source = self.state.fleet.vms_of_app(app.0).into_iter().find(|&v| {
+                matches!(
+                    self.state.fleet.vm(v).map(|x| x.state),
+                    Ok(VmState::Running)
+                )
+            });
             let created = match source {
                 Some(src) => self.state.fleet.clone_vm(src, server, now),
                 None => self.state.fleet.create_vm(
@@ -330,14 +631,24 @@ impl Platform {
                 m.instance_starts.incr();
             }
         }
-        for vm in if knobs.pod_instances { plan.remove_instances } else { Vec::new() } {
-            self.global.viprip.submit(Priority::Low, Request::DeleteRip { vm });
+        for vm in if knobs.pod_instances {
+            plan.remove_instances
+        } else {
+            Vec::new()
+        } {
+            self.global
+                .viprip
+                .submit(Priority::Low, Request::DeleteRip { vm });
             m.instance_stops.incr();
         }
         for (vip, weights) in plan.weight_requests {
             self.global.viprip.submit(
                 Priority::Normal,
-                Request::AdjustPodWeights { pod: plan.pod, vip, weights },
+                Request::AdjustPodWeights {
+                    pod: plan.pod,
+                    vip,
+                    weights,
+                },
             );
         }
     }
@@ -358,7 +669,14 @@ impl Platform {
             return;
         }
         for (app, vm) in missing {
-            self.global.viprip.submit(Priority::Normal, Request::NewRip { app, vm, weight: 1.0 });
+            self.global.viprip.submit(
+                Priority::Normal,
+                Request::NewRip {
+                    app,
+                    vm,
+                    weight: 1.0,
+                },
+            );
         }
         self.global.viprip.process_all(&mut self.state);
     }
@@ -402,7 +720,10 @@ mod tests {
         for app in p.state.apps() {
             assert_eq!(app.vips.len(), cfg.vips_for_rank(app.popularity_rank));
         }
-        assert_eq!(p.state.fleet.num_vms(), cfg.num_apps * cfg.initial_instances_per_app);
+        assert_eq!(
+            p.state.fleet.num_vms(),
+            cfg.num_apps * cfg.initial_instances_per_app
+        );
         assert_eq!(p.state.num_rips(), p.state.fleet.num_vms());
         p.state.assert_invariants();
     }
@@ -461,12 +782,52 @@ mod tests {
         });
         let report = p.run_epochs(200);
         // The platform adapts: instances were added and/or slices grown.
-        let adapted = p.metrics.instance_starts.get() > 0
-            || p.metrics.slice_adjustments.get() > 0;
+        let adapted = p.metrics.instance_starts.get() > 0 || p.metrics.slice_adjustments.get() > 0;
         assert!(adapted, "no elastic response to the flash crowd");
         // And the final state is consistent.
         p.state.assert_invariants();
         assert!(report.final_served_fraction > 0.5, "collapsed: {report:?}");
+    }
+
+    #[test]
+    fn proactive_plane_activates_and_stays_deterministic() {
+        let run = || {
+            let mut cfg = PlatformConfig::small_test();
+            cfg.total_demand_bps = 1e9;
+            cfg.diurnal_amplitude = 0.0;
+            cfg.elastic = elastic::ElasticConfig::proactive();
+            let mut p = Platform::build(cfg).unwrap();
+            p.run_epochs(5);
+            let victim = p.workload.apps_by_popularity()[0];
+            p.workload.add_flash_crowd(workload::FlashCrowd {
+                app: victim,
+                start: p.now() + dcsim::SimDuration::from_secs(20),
+                ramp: dcsim::SimDuration::from_secs(60),
+                duration: dcsim::SimDuration::from_secs(1200),
+                peak: 6.0,
+            });
+            let report = p.run_epochs(60);
+            let proactive_actions = p.metrics.proactive_deployments.get()
+                + p.metrics.proactive_slice_adjustments.get()
+                + p.metrics.proactive_reweights.get();
+            (report, proactive_actions, p.forecast_mape())
+        };
+        let (report, actions, mape) = run();
+        assert!(actions > 0, "proactive plane never actuated");
+        assert!(mape.is_some(), "no forecast accuracy recorded");
+        assert!(report.final_served_fraction > 0.5, "collapsed: {report:?}");
+        // Bit-identical reruns for a fixed seed.
+        let (report2, actions2, mape2) = run();
+        assert_eq!(report, report2);
+        assert_eq!(actions, actions2);
+        assert_eq!(mape, mape2);
+    }
+
+    #[test]
+    fn disabled_elastic_has_no_controller() {
+        let p = Platform::build(PlatformConfig::small_test()).unwrap();
+        assert!(p.elastic().is_none());
+        assert!(p.forecast_mape().is_none());
     }
 
     #[test]

@@ -28,7 +28,9 @@ use crate::ids::{AppId, PodId};
 use crate::state::PlatformState;
 use dcsim::SimDuration;
 use lbswitch::VipAddr;
-use placement::{AppReq, Placement, PlacementAlgorithm, PlacementProblem, ServerCap, TangController};
+use placement::{
+    AppReq, Placement, PlacementAlgorithm, PlacementProblem, ServerCap, TangController,
+};
 use std::collections::BTreeMap;
 use vmm::{ServerId, VmId};
 
@@ -70,7 +72,10 @@ pub struct PodManager {
 impl PodManager {
     /// Create a manager for `pod`.
     pub fn new(pod: PodId) -> Self {
-        PodManager { id: pod, controller: TangController::default() }
+        PodManager {
+            id: pod,
+            controller: TangController::default(),
+        }
     }
 
     /// Build the pod-local problem and run one decision round.
@@ -131,7 +136,10 @@ impl PodManager {
                 })
                 .collect(),
             apps: (0..apps.len())
-                .map(|i| AppReq { demand_cpu: demand[i], vm_cap: cfg.vm_max_cpu_slice })
+                .map(|i| AppReq {
+                    demand_cpu: demand[i],
+                    vm_cap: cfg.vm_max_cpu_slice,
+                })
                 .collect(),
         };
 
@@ -174,7 +182,8 @@ impl PodManager {
                         }
                     }
                     None => {
-                        plan.new_instances.push((app, servers[s], cpu.max(cfg.vm_cpu_slice)));
+                        plan.new_instances
+                            .push((app, servers[s], cpu.max(cfg.vm_cpu_slice)));
                     }
                 }
             }
@@ -191,7 +200,9 @@ impl PodManager {
         for (&app, vms) in &app_vms {
             let a = app_index[&app];
             for &vm_id in vms {
-                let Some(rip) = state.rip_of_vm(vm_id) else { continue };
+                let Some(rip) = state.rip_of_vm(vm_id) else {
+                    continue;
+                };
                 let vip = state.rip(rip).expect("bound").vip;
                 let srv = state.fleet.locate(vm_id).expect("live");
                 let s = server_index[&srv];
@@ -242,9 +253,12 @@ mod tests {
         let app0 = st.register_app(0);
         let _app1 = st.register_app(1);
         let vip = st.allocate_vip(app0, SwitchId(0)).unwrap();
-        st.advertise_vip(vip, AccessRouterId(0), SimTime::ZERO).unwrap();
-        st.add_instance_running(app0, ServerId(0), vip, 1.0).unwrap();
-        st.add_instance_running(app0, ServerId(2), vip, 1.0).unwrap();
+        st.advertise_vip(vip, AccessRouterId(0), SimTime::ZERO)
+            .unwrap();
+        st.add_instance_running(app0, ServerId(0), vip, 1.0)
+            .unwrap();
+        st.add_instance_running(app0, ServerId(2), vip, 1.0)
+            .unwrap();
         st.dns.set_exposure(0, vec![(vip, 1.0)], SimTime::ZERO);
         let now = SimTime::ZERO + st.routes.convergence();
         let snap = propagate(&mut st, &[demand_bps, 0.0], now);

@@ -56,7 +56,12 @@ pub struct SessionConfig {
 impl Default for SessionConfig {
     fn default() -> Self {
         // Median ~20 s sessions, heavy tail — web-session-like.
-        SessionConfig { arrival_rate: 5.0, duration_mu: 3.0, duration_sigma: 1.0, seed: 0 }
+        SessionConfig {
+            arrival_rate: 5.0,
+            duration_mu: 3.0,
+            duration_sigma: 1.0,
+            seed: 0,
+        }
     }
 }
 
@@ -101,7 +106,10 @@ impl SessionSimulator {
         };
         for app in 0..state.num_apps() as u32 {
             let dt = exponential(&mut sim.rng, config.arrival_rate);
-            sim.queue.schedule(start + SimDuration::from_secs_f64(dt), SessionEvent::Arrival { app });
+            sim.queue.schedule(
+                start + SimDuration::from_secs_f64(dt),
+                SessionEvent::Arrival { app },
+            );
         }
         sim
     }
@@ -122,8 +130,10 @@ impl SessionSimulator {
                     // Schedule the next arrival for this app first (the
                     // process never stops).
                     let dt = exponential(&mut self.rng, self.config.arrival_rate);
-                    self.queue
-                        .schedule(now + SimDuration::from_secs_f64(dt), SessionEvent::Arrival { app });
+                    self.queue.schedule(
+                        now + SimDuration::from_secs_f64(dt),
+                        SessionEvent::Arrival { app },
+                    );
                     self.handle_arrival(state, app, now);
                 }
                 SessionEvent::Departure { vip, rip } => {
@@ -157,7 +167,11 @@ impl SessionSimulator {
         match state.switches[sw].open_session(vip, client_key) {
             Ok(rip) => {
                 self.stats.opened += 1;
-                let dur = log_normal(&mut self.rng, self.config.duration_mu, self.config.duration_sigma);
+                let dur = log_normal(
+                    &mut self.rng,
+                    self.config.duration_mu,
+                    self.config.duration_sigma,
+                );
                 self.queue.schedule(
                     now + SimDuration::from_secs_f64(dur),
                     SessionEvent::Departure { vip, rip },
@@ -213,7 +227,8 @@ mod tests {
         let mut st = PlatformState::new(cfg);
         let app = st.register_app(0);
         let vip = st.allocate_vip(app, SwitchId(0)).unwrap();
-        st.advertise_vip(vip, AccessRouterId(0), SimTime::ZERO).unwrap();
+        st.advertise_vip(vip, AccessRouterId(0), SimTime::ZERO)
+            .unwrap();
         st.add_instance_running(app, ServerId(0), vip, 1.0).unwrap();
         st.add_instance_running(app, ServerId(1), vip, 1.0).unwrap();
         st.dns.set_exposure(0, vec![(vip, 1.0)], SimTime::ZERO);
@@ -228,7 +243,14 @@ mod tests {
     fn sessions_open_and_close() {
         let mut st = state();
         let start = t0(&st);
-        let mut sim = SessionSimulator::new(&st, SessionConfig { seed: 1, ..Default::default() }, start);
+        let mut sim = SessionSimulator::new(
+            &st,
+            SessionConfig {
+                seed: 1,
+                ..Default::default()
+            },
+            start,
+        );
         sim.run_until(&mut st, start + SimDuration::from_secs(600));
         assert!(sim.stats.opened > 1000, "opened {}", sim.stats.opened);
         assert!(sim.stats.closed > 0);
@@ -241,8 +263,14 @@ mod tests {
     #[test]
     fn arrivals_before_route_convergence_are_lost() {
         let mut st = state();
-        let mut sim =
-            SessionSimulator::new(&st, SessionConfig { seed: 2, ..Default::default() }, SimTime::ZERO);
+        let mut sim = SessionSimulator::new(
+            &st,
+            SessionConfig {
+                seed: 2,
+                ..Default::default()
+            },
+            SimTime::ZERO,
+        );
         // Routes converge at t=90; run only until t=60.
         sim.run_until(&mut st, SimTime::from_secs(60));
         assert_eq!(sim.stats.opened, 0);
@@ -257,12 +285,18 @@ mod tests {
         let mut st = PlatformState::new(cfg);
         let app = st.register_app(0);
         let vip = st.allocate_vip(app, SwitchId(0)).unwrap();
-        st.advertise_vip(vip, AccessRouterId(0), SimTime::ZERO).unwrap();
+        st.advertise_vip(vip, AccessRouterId(0), SimTime::ZERO)
+            .unwrap();
         st.add_instance_running(app, ServerId(0), vip, 1.0).unwrap();
         st.dns.set_exposure(0, vec![(vip, 1.0)], SimTime::ZERO);
         let start = SimTime::ZERO + st.routes.convergence();
         // Long sessions at a high rate → table fills.
-        let cfg = SessionConfig { arrival_rate: 20.0, duration_mu: 6.0, duration_sigma: 0.3, seed: 3 };
+        let cfg = SessionConfig {
+            arrival_rate: 20.0,
+            duration_mu: 6.0,
+            duration_sigma: 0.3,
+            seed: 3,
+        };
         let mut sim = SessionSimulator::new(&st, cfg, start);
         sim.run_until(&mut st, start + SimDuration::from_secs(120));
         assert!(sim.stats.lost_rejected > 0, "stats {:?}", sim.stats);
@@ -275,20 +309,30 @@ mod tests {
         let app = AppId(0);
         // Give the app a second VIP to absorb the demand.
         let vip2 = st.allocate_vip(app, SwitchId(1)).unwrap();
-        st.advertise_vip(vip2, AccessRouterId(1), SimTime::ZERO).unwrap();
+        st.advertise_vip(vip2, AccessRouterId(1), SimTime::ZERO)
+            .unwrap();
         let srv = st.pod_servers(crate::ids::PodId(0))[1];
         st.add_instance_running(app, srv, vip2, 1.0).unwrap();
         let vip1 = st.app(app).unwrap().vips[0];
-        st.dns.set_exposure(0, vec![(vip1, 1.0), (vip2, 1.0)], SimTime::ZERO);
+        st.dns
+            .set_exposure(0, vec![(vip1, 1.0), (vip2, 1.0)], SimTime::ZERO);
 
         let start = t0(&st);
-        let mut sim = SessionSimulator::new(&st, SessionConfig { seed: 4, ..Default::default() }, start);
+        let mut sim = SessionSimulator::new(
+            &st,
+            SessionConfig {
+                seed: 4,
+                ..Default::default()
+            },
+            start,
+        );
         // Build up sessions for 5 minutes.
         let t_drain = start + SimDuration::from_secs(300);
         sim.run_until(&mut st, t_drain);
         assert!(!st.switches[0].is_quiescent(vip1).unwrap());
         // Drain: stop exposing vip1.
-        st.dns.set_exposure(0, vec![(vip1, 0.0), (vip2, 1.0)], t_drain);
+        st.dns
+            .set_exposure(0, vec![(vip1, 0.0), (vip2, 1.0)], t_drain);
         let q = sim.time_to_quiescence(
             &mut st,
             vip1,
@@ -299,7 +343,8 @@ mod tests {
         let q = q.expect("drain should eventually quiesce");
         assert!(q > t_drain, "quiescence can't precede the drain");
         // Once quiescent, the §IV.B transfer is legal at the switch level.
-        st.transfer_vip(vip1, SwitchId(1)).expect("transfer after true quiescence");
+        st.transfer_vip(vip1, SwitchId(1))
+            .expect("transfer after true quiescence");
         st.assert_invariants();
     }
 
@@ -308,8 +353,14 @@ mod tests {
         let run = |seed| {
             let mut st = state();
             let start = t0(&st);
-            let mut sim =
-                SessionSimulator::new(&st, SessionConfig { seed, ..Default::default() }, start);
+            let mut sim = SessionSimulator::new(
+                &st,
+                SessionConfig {
+                    seed,
+                    ..Default::default()
+                },
+                start,
+            );
             sim.run_until(&mut st, start + SimDuration::from_secs(300));
             sim.stats
         };

@@ -37,7 +37,12 @@ pub enum Binding {
 }
 
 /// Compute one sizing row.
-pub fn size_fabric(limits: &SwitchLimits, apps: u64, vips_per_app: u64, rips_per_app: u64) -> SizingRow {
+pub fn size_fabric(
+    limits: &SwitchLimits,
+    apps: u64,
+    vips_per_app: u64,
+    rips_per_app: u64,
+) -> SizingRow {
     let by_vips = (apps * vips_per_app).div_ceil(limits.max_vips as u64);
     let by_rips = (apps * rips_per_app).div_ceil(limits.max_rips as u64);
     let switches = by_vips.max(by_rips).max(1);
@@ -49,7 +54,11 @@ pub fn size_fabric(limits: &SwitchLimits, apps: u64, vips_per_app: u64, rips_per
         by_rips,
         switches,
         aggregate_bps: limits.aggregate_bandwidth_bps(switches),
-        binding: if by_vips >= by_rips { Binding::Vips } else { Binding::Rips },
+        binding: if by_vips >= by_rips {
+            Binding::Vips
+        } else {
+            Binding::Rips
+        },
     }
 }
 

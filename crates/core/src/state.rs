@@ -178,7 +178,11 @@ impl PlatformState {
     /// Register an application with its popularity rank. Returns its id.
     pub fn register_app(&mut self, popularity_rank: usize) -> AppId {
         let id = AppId(self.apps.len() as u32);
-        self.apps.push(AppRecord { id, vips: Vec::new(), popularity_rank });
+        self.apps.push(AppRecord {
+            id,
+            vips: Vec::new(),
+            popularity_rank,
+        });
         id
     }
 
@@ -189,7 +193,9 @@ impl PlatformState {
 
     /// Application record.
     pub fn app(&self, id: AppId) -> Result<&AppRecord, StateError> {
-        self.apps.get(id.0 as usize).ok_or(StateError::UnknownApp(id))
+        self.apps
+            .get(id.0 as usize)
+            .ok_or(StateError::UnknownApp(id))
     }
 
     /// All applications.
@@ -207,7 +213,14 @@ impl PlatformState {
             self.vip_pool.release(vip);
             return Err(e.into());
         }
-        self.vips.insert(vip, VipRecord { app, switch, router: None });
+        self.vips.insert(
+            vip,
+            VipRecord {
+                app,
+                switch,
+                router: None,
+            },
+        );
         self.apps[app.0 as usize].vips.push(vip);
         Ok(vip)
     }
@@ -224,7 +237,12 @@ impl PlatformState {
 
     /// Advertise a VIP's prefix at an access router (BGP side of selective
     /// exposure). Re-advertising at a new router withdraws the old route.
-    pub fn advertise_vip(&mut self, vip: VipAddr, router: AccessRouterId, now: SimTime) -> Result<(), StateError> {
+    pub fn advertise_vip(
+        &mut self,
+        vip: VipAddr,
+        router: AccessRouterId,
+        now: SimTime,
+    ) -> Result<(), StateError> {
         let rec = self.vips.get_mut(&vip).ok_or(StateError::UnknownVip(vip))?;
         if let Some(old) = rec.router {
             if old != router {
@@ -253,9 +271,11 @@ impl PlatformState {
         // never left with an orphaned VIP.
         if let Err(e) = dst.add_vip(vip) {
             let src = &mut self.switches[from];
-            src.add_vip(vip).expect("rollback: source had this VIP a moment ago");
+            src.add_vip(vip)
+                .expect("rollback: source had this VIP a moment ago");
             for r in &rips {
-                src.add_rip(vip, r.rip, r.weight).expect("rollback: RIPs fit before");
+                src.add_rip(vip, r.rip, r.weight)
+                    .expect("rollback: RIPs fit before");
             }
             return Err(e.into());
         }
@@ -306,7 +326,11 @@ impl PlatformState {
         vip: VipAddr,
         weight: f64,
     ) -> Result<(VmId, RipAddr), StateError> {
-        debug_assert_eq!(self.vip(vip)?.app, app, "RIP must map to a VIP of the same app");
+        debug_assert_eq!(
+            self.vip(vip)?.app,
+            app,
+            "RIP must map to a VIP of the same app"
+        );
         let cfg = &self.config;
         let vm = self
             .fleet
@@ -324,7 +348,10 @@ impl PlatformState {
     /// VM. Returns the number of sessions dropped at the switch (0 in
     /// fluid mode / when drained).
     pub fn remove_instance(&mut self, vm: VmId) -> Result<u64, StateError> {
-        let rip = self.vm_rip.remove(&vm).ok_or(StateError::Vm(VmError::UnknownVm(vm)))?;
+        let rip = self
+            .vm_rip
+            .remove(&vm)
+            .ok_or(StateError::Vm(VmError::UnknownVm(vm)))?;
         let rec = self.rips.remove(&rip).expect("vm_rip and rips in sync");
         let switch = self.vip(rec.vip)?.switch;
         let dropped = self.switches[switch.0 as usize].remove_rip(rec.vip, rip)?;
@@ -393,7 +420,10 @@ impl PlatformState {
             return;
         }
         let list = &mut self.pod_servers[old.index()];
-        let pos = list.iter().position(|&s| s == server).expect("pod lists consistent");
+        let pos = list
+            .iter()
+            .position(|&s| s == server)
+            .expect("pod lists consistent");
         list.swap_remove(pos);
         self.pod_servers[pod.index()].push(server);
         self.pod_of_server[server.0 as usize] = pod;
@@ -431,9 +461,13 @@ impl PlatformState {
     /// The pods covered by a VIP (pods containing a VM whose RIP maps to
     /// the VIP).
     pub fn pods_covered_by_vip(&self, vip: VipAddr) -> Vec<PodId> {
-        let Ok(rec) = self.vip(vip) else { return Vec::new() };
+        let Ok(rec) = self.vip(vip) else {
+            return Vec::new();
+        };
         let switch = &self.switches[rec.switch.0 as usize];
-        let Ok(cfg) = switch.vip(vip) else { return Vec::new() };
+        let Ok(cfg) = switch.vip(vip) else {
+            return Vec::new();
+        };
         let mut pods: Vec<u32> = cfg
             .rips
             .iter()
@@ -475,7 +509,10 @@ impl PlatformState {
     pub fn fail_switch(&mut self, id: SwitchId) -> (usize, usize, u64) {
         assert!(self.switch_ok[id.0 as usize], "switch already failed");
         self.switch_ok[id.0 as usize] = false;
-        let vips: Vec<VipAddr> = self.switches[id.0 as usize].vips().map(|(v, _)| v).collect();
+        let vips: Vec<VipAddr> = self.switches[id.0 as usize]
+            .vips()
+            .map(|(v, _)| v)
+            .collect();
         let mut rehomed = 0;
         let mut lost = 0;
         let mut dropped = 0;
@@ -490,10 +527,14 @@ impl PlatformState {
                 .iter()
                 .enumerate()
                 .filter(|&(i, sw)| {
-                    self.switch_ok[i] && sw.vip_slots_free() > 0 && sw.rip_slots_free() >= rips.len()
+                    self.switch_ok[i]
+                        && sw.vip_slots_free() > 0
+                        && sw.rip_slots_free() >= rips.len()
                 })
                 .min_by(|(_, a), (_, b)| {
-                    a.utilization().partial_cmp(&b.utilization()).expect("finite")
+                    a.utilization()
+                        .partial_cmp(&b.utilization())
+                        .expect("finite")
                 })
                 .map(|(_, sw)| sw.id());
             match target {
@@ -572,8 +613,16 @@ impl PlatformState {
         }
         // Switch limits hold.
         for sw in &self.switches {
-            assert!(sw.vip_count() <= sw.limits().max_vips, "{} over VIP limit", sw.id());
-            assert!(sw.rip_count() <= sw.limits().max_rips, "{} over RIP limit", sw.id());
+            assert!(
+                sw.vip_count() <= sw.limits().max_vips,
+                "{} over VIP limit",
+                sw.id()
+            );
+            assert!(
+                sw.rip_count() <= sw.limits().max_rips,
+                "{} over RIP limit",
+                sw.id()
+            );
         }
         // Every RIP record matches a switch entry and a live VM of the
         // right app.
@@ -581,7 +630,10 @@ impl PlatformState {
             let vrec = self.vips.get(&rec.vip).expect("RIP references live VIP");
             let sw = &self.switches[vrec.switch.0 as usize];
             let cfg = sw.vip(rec.vip).expect("VIP configured");
-            assert!(cfg.rips.iter().any(|r| r.rip == rip), "{rip} not on its VIP's switch");
+            assert!(
+                cfg.rips.iter().any(|r| r.rip == rip),
+                "{rip} not on its VIP's switch"
+            );
             let vm = self.fleet.vm(rec.vm).expect("RIP references live VM");
             assert_eq!(AppId(vm.app), vrec.app, "{rip}: VM app != VIP app");
             assert_eq!(self.vm_rip.get(&rec.vm), Some(&rip), "vm_rip out of sync");
@@ -628,7 +680,10 @@ mod tests {
     fn new_state_partitions_servers_into_pods() {
         let st = state();
         assert_eq!(st.num_pods(), 2);
-        assert_eq!(st.pod_servers(PodId(0)).len() + st.pod_servers(PodId(1)).len(), 16);
+        assert_eq!(
+            st.pod_servers(PodId(0)).len() + st.pod_servers(PodId(1)).len(),
+            16
+        );
         st.assert_invariants();
     }
 
@@ -638,7 +693,8 @@ mod tests {
         let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
         assert_eq!(st.vip(vip).unwrap().app, AppId(0));
         assert!(st.switches[0].has_vip(vip));
-        st.advertise_vip(vip, AccessRouterId(1), SimTime::ZERO).unwrap();
+        st.advertise_vip(vip, AccessRouterId(1), SimTime::ZERO)
+            .unwrap();
         assert_eq!(st.vip(vip).unwrap().router, Some(AccessRouterId(1)));
         assert_eq!(st.routes.updates_sent(), 1);
         st.assert_invariants();
@@ -648,8 +704,10 @@ mod tests {
     fn readvertising_withdraws_old_route() {
         let mut st = state();
         let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
-        st.advertise_vip(vip, AccessRouterId(0), SimTime::ZERO).unwrap();
-        st.advertise_vip(vip, AccessRouterId(2), SimTime::from_secs(100)).unwrap();
+        st.advertise_vip(vip, AccessRouterId(0), SimTime::ZERO)
+            .unwrap();
+        st.advertise_vip(vip, AccessRouterId(2), SimTime::from_secs(100))
+            .unwrap();
         // withdraw + advertise = 2 more updates.
         assert_eq!(st.routes.updates_sent(), 3);
     }
@@ -658,7 +716,9 @@ mod tests {
     fn instance_lifecycle() {
         let mut st = state();
         let vip = st.allocate_vip(AppId(3), SwitchId(0)).unwrap();
-        let (vm, rip) = st.add_instance_running(AppId(3), ServerId(0), vip, 1.0).unwrap();
+        let (vm, rip) = st
+            .add_instance_running(AppId(3), ServerId(0), vip, 1.0)
+            .unwrap();
         assert_eq!(st.rip_of_vm(vm), Some(rip));
         assert_eq!(st.rip(rip).unwrap().vip, vip);
         assert_eq!(st.num_rips(), 1);
@@ -673,7 +733,9 @@ mod tests {
     fn vip_transfer_moves_rips() {
         let mut st = state();
         let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
-        let (_vm, rip) = st.add_instance_running(AppId(0), ServerId(0), vip, 2.0).unwrap();
+        let (_vm, rip) = st
+            .add_instance_running(AppId(0), ServerId(0), vip, 2.0)
+            .unwrap();
         st.transfer_vip(vip, SwitchId(1)).unwrap();
         assert!(!st.switches[0].has_vip(vip));
         assert!(st.switches[1].has_vip(vip));
@@ -695,7 +757,10 @@ mod tests {
         let a = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
         let _b = st.allocate_vip(AppId(1), SwitchId(1)).unwrap();
         let err = st.transfer_vip(a, SwitchId(1)).unwrap_err();
-        assert!(matches!(err, StateError::Switch(SwitchError::VipLimitExceeded)));
+        assert!(matches!(
+            err,
+            StateError::Switch(SwitchError::VipLimitExceeded)
+        ));
         // Rolled back: still on switch 0.
         assert!(st.switches[0].has_vip(a));
         st.assert_invariants();
@@ -729,8 +794,10 @@ mod tests {
         let mut st = state();
         let vip_a = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
         let vip_b = st.allocate_vip(AppId(1), SwitchId(0)).unwrap();
-        st.add_instance_running(AppId(0), ServerId(0), vip_a, 1.0).unwrap();
-        st.add_instance_running(AppId(1), ServerId(1), vip_b, 2.0).unwrap();
+        st.add_instance_running(AppId(0), ServerId(0), vip_a, 1.0)
+            .unwrap();
+        st.add_instance_running(AppId(1), ServerId(1), vip_b, 2.0)
+            .unwrap();
         // Live sessions on vip_a.
         st.switches[0].open_session(vip_a, 7).unwrap();
         let (rehomed, lost, dropped) = st.fail_switch(SwitchId(0));
@@ -767,7 +834,9 @@ mod tests {
     fn server_failure_destroys_instances_and_unbinds_rips() {
         let mut st = state();
         let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
-        let (vm, _) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
+        let (vm, _) = st
+            .add_instance_running(AppId(0), ServerId(0), vip, 1.0)
+            .unwrap();
         let lost = st.fail_server(ServerId(0));
         assert_eq!(lost, 1);
         assert!(!st.server_healthy(ServerId(0)));

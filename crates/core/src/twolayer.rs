@@ -53,7 +53,9 @@ impl TwoLayerFabric {
     pub fn new(dd: usize, lb: usize, limits: SwitchLimits) -> Self {
         assert!(dd > 0 && lb > 0);
         TwoLayerFabric {
-            dd_switches: (0..dd).map(|i| LbSwitch::new(SwitchId(i as u32), limits)).collect(),
+            dd_switches: (0..dd)
+                .map(|i| LbSwitch::new(SwitchId(i as u32), limits))
+                .collect(),
             lb_switches: (0..lb)
                 .map(|i| LbSwitch::new(SwitchId((dd + i) as u32), limits))
                 .collect(),
@@ -111,7 +113,8 @@ impl TwoLayerFabric {
                 sw.add_rip(evip, lbswitch::RipAddr(mvip.0), 1.0)?;
             }
             self.evip_switch.insert(evip, sw.id());
-            self.evip_to_mvips.insert(evip, mvips.iter().map(|&m| (m, 1.0)).collect());
+            self.evip_to_mvips
+                .insert(evip, mvips.iter().map(|&m| (m, 1.0)).collect());
             evips.push(evip);
         }
         Ok((evips, mvips))
@@ -124,7 +127,11 @@ impl TwoLayerFabric {
         rip: lbswitch::RipAddr,
         weight: f64,
     ) -> Result<(), SwitchError> {
-        let sw = self.mvip_switch.get(&mvip).copied().ok_or(SwitchError::UnknownVip(mvip))?;
+        let sw = self
+            .mvip_switch
+            .get(&mvip)
+            .copied()
+            .ok_or(SwitchError::UnknownVip(mvip))?;
         self.lb_switch_mut(sw).add_rip(mvip, rip, weight)
     }
 
@@ -146,14 +153,21 @@ impl TwoLayerFabric {
             .ok_or(SwitchError::UnknownRip(evip, lbswitch::RipAddr(mvip.0)))?;
         entry.1 = weight;
         let dd = self.evip_switch[&evip];
-        self.dd_switch_mut(dd).set_rip_weight(evip, lbswitch::RipAddr(mvip.0), weight)
+        self.dd_switch_mut(dd)
+            .set_rip_weight(evip, lbswitch::RipAddr(mvip.0), weight)
     }
 
     fn dd_switch_mut(&mut self, id: SwitchId) -> &mut LbSwitch {
-        self.dd_switches.iter_mut().find(|s| s.id() == id).expect("DD switch exists")
+        self.dd_switches
+            .iter_mut()
+            .find(|s| s.id() == id)
+            .expect("DD switch exists")
     }
     fn lb_switch_mut(&mut self, id: SwitchId) -> &mut LbSwitch {
-        self.lb_switches.iter_mut().find(|s| s.id() == id).expect("LB switch exists")
+        self.lb_switches
+            .iter_mut()
+            .find(|s| s.id() == id)
+            .expect("LB switch exists")
     }
 
     /// Route external demand two stages down: per-external-VIP demand →
@@ -244,7 +258,11 @@ mod tests {
     use lbswitch::RipAddr;
 
     fn limits() -> SwitchLimits {
-        SwitchLimits { max_vips: 8, max_rips: 32, ..SwitchLimits::CISCO_CATALYST }
+        SwitchLimits {
+            max_vips: 8,
+            max_rips: 32,
+            ..SwitchLimits::CISCO_CATALYST
+        }
     }
 
     #[test]
@@ -328,7 +346,14 @@ mod tests {
 
     #[test]
     fn capacity_exhaustion_reported() {
-        let mut f = TwoLayerFabric::new(1, 1, SwitchLimits { max_vips: 1, ..limits() });
+        let mut f = TwoLayerFabric::new(
+            1,
+            1,
+            SwitchLimits {
+                max_vips: 1,
+                ..limits()
+            },
+        );
         f.add_app(1, 1).unwrap();
         assert!(f.add_app(1, 1).is_err());
     }

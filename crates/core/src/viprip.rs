@@ -151,7 +151,11 @@ impl VipRipManager {
     pub fn submit(&mut self, priority: Priority, request: Request) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Queued { priority: priority.rank(), seq, request });
+        self.queue.push(Queued {
+            priority: priority.rank(),
+            seq,
+            request,
+        });
     }
 
     /// Pending request count.
@@ -194,17 +198,15 @@ impl VipRipManager {
                 },
                 None => Response::Failed("no switch with free VIP capacity".into()),
             },
-            Request::NewRip { app, vm, weight } => {
-                match Self::pick_rip_vip(state, *app) {
-                    Some(vip) => match state.bind_rip(vip, *vm, *weight) {
-                        Ok(rip) => Response::RipBound(rip, vip),
-                        Err(e) => Response::Failed(e.to_string()),
-                    },
-                    None => Response::Failed(format!(
-                        "no VIP of {app} on a switch with spare RIP capacity"
-                    )),
-                }
-            }
+            Request::NewRip { app, vm, weight } => match Self::pick_rip_vip(state, *app) {
+                Some(vip) => match state.bind_rip(vip, *vm, *weight) {
+                    Ok(rip) => Response::RipBound(rip, vip),
+                    Err(e) => Response::Failed(e.to_string()),
+                },
+                None => Response::Failed(format!(
+                    "no VIP of {app} on a switch with spare RIP capacity"
+                )),
+            },
             Request::DeleteRip { vm } => match state.remove_instance(*vm) {
                 Ok(_) => Response::Done,
                 Err(e) => Response::Failed(e.to_string()),
@@ -307,7 +309,11 @@ impl VipRipManager {
         }
         let scale = pod_total / requested_total;
         for &(vm, w) in weights {
-            let rip = pod_rips.iter().find(|&&(v, _)| v == vm).expect("validated").1;
+            let rip = pod_rips
+                .iter()
+                .find(|&&(v, _)| v == vm)
+                .expect("validated")
+                .1;
             state.switches[switch.0 as usize].set_rip_weight(vip, rip, w.max(0.0) * scale)?;
         }
         Ok(())
@@ -353,13 +359,27 @@ mod tests {
             .create_vm_running(ServerId(0), 0, st.config.vm_cpu_slice, st.config.vm_mem_mb)
             .unwrap();
         // No VIP for app 0 yet: must fail.
-        mgr.submit(Priority::Normal, Request::NewRip { app: AppId(0), vm, weight: 1.0 });
+        mgr.submit(
+            Priority::Normal,
+            Request::NewRip {
+                app: AppId(0),
+                vm,
+                weight: 1.0,
+            },
+        );
         let out = mgr.process_all(&mut st);
         assert!(matches!(out[0].1, Response::Failed(_)));
         assert_eq!(mgr.failed(), 1);
         // Allocate a VIP, retry: succeeds.
         st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
-        mgr.submit(Priority::Normal, Request::NewRip { app: AppId(0), vm, weight: 1.0 });
+        mgr.submit(
+            Priority::Normal,
+            Request::NewRip {
+                app: AppId(0),
+                vm,
+                weight: 1.0,
+            },
+        );
         let out = mgr.process_all(&mut st);
         assert!(matches!(out[0].1, Response::RipBound(_, _)));
         st.assert_invariants();
@@ -389,11 +409,20 @@ mod tests {
         let mut st = state();
         let mut mgr = VipRipManager::new();
         let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
-        let (vm, rip) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
+        let (vm, rip) = st
+            .add_instance_running(AppId(0), ServerId(0), vip, 1.0)
+            .unwrap();
         mgr.submit(Priority::High, Request::SetWeight { vm, weight: 5.0 });
         let out = mgr.process_all(&mut st);
         assert_eq!(out[0].1, Response::Done);
-        let w = st.switches[0].vip(vip).unwrap().rips.iter().find(|r| r.rip == rip).unwrap().weight;
+        let w = st.switches[0]
+            .vip(vip)
+            .unwrap()
+            .rips
+            .iter()
+            .find(|r| r.rip == rip)
+            .unwrap()
+            .weight;
         assert!((w - 5.0).abs() < 1e-12);
     }
 
@@ -403,9 +432,15 @@ mod tests {
         let mut mgr = VipRipManager::new();
         let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
         // Two VMs in pod 0 (servers 0 and 2), one in pod 1 (server 1).
-        let (vm_a, _) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
-        let (vm_b, _) = st.add_instance_running(AppId(0), ServerId(2), vip, 3.0).unwrap();
-        let (_vm_c, rip_c) = st.add_instance_running(AppId(0), ServerId(1), vip, 2.0).unwrap();
+        let (vm_a, _) = st
+            .add_instance_running(AppId(0), ServerId(0), vip, 1.0)
+            .unwrap();
+        let (vm_b, _) = st
+            .add_instance_running(AppId(0), ServerId(2), vip, 3.0)
+            .unwrap();
+        let (_vm_c, rip_c) = st
+            .add_instance_running(AppId(0), ServerId(1), vip, 2.0)
+            .unwrap();
         // Pod 0 total = 4.0. Request relative weights 1:1 → 2.0 each.
         mgr.submit(
             Priority::Normal,
@@ -424,7 +459,10 @@ mod tests {
             .filter(|r| r.rip != rip_c)
             .map(|r| r.weight)
             .sum();
-        assert!((total_pod0 - 4.0).abs() < 1e-9, "pod total changed: {total_pod0}");
+        assert!(
+            (total_pod0 - 4.0).abs() < 1e-9,
+            "pod total changed: {total_pod0}"
+        );
         // Other pod untouched.
         let w_c = cfg.rips.iter().find(|r| r.rip == rip_c).unwrap().weight;
         assert!((w_c - 2.0).abs() < 1e-12);
@@ -435,12 +473,20 @@ mod tests {
         let mut st = state();
         let mut mgr = VipRipManager::new();
         let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
-        let (_vm_a, _) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
-        let (vm_pod1, _) = st.add_instance_running(AppId(0), ServerId(1), vip, 1.0).unwrap();
+        let (_vm_a, _) = st
+            .add_instance_running(AppId(0), ServerId(0), vip, 1.0)
+            .unwrap();
+        let (vm_pod1, _) = st
+            .add_instance_running(AppId(0), ServerId(1), vip, 1.0)
+            .unwrap();
         // vm_pod1 is in pod 1, not pod 0: request must fail.
         mgr.submit(
             Priority::Normal,
-            Request::AdjustPodWeights { pod: PodId(0), vip, weights: vec![(vm_pod1, 1.0)] },
+            Request::AdjustPodWeights {
+                pod: PodId(0),
+                vip,
+                weights: vec![(vm_pod1, 1.0)],
+            },
         );
         let out = mgr.process_all(&mut st);
         assert!(matches!(out[0].1, Response::Failed(_)));
@@ -451,7 +497,9 @@ mod tests {
         let mut st = state();
         let mut mgr = VipRipManager::new();
         let vip = st.allocate_vip(AppId(0), SwitchId(0)).unwrap();
-        let (vm, _) = st.add_instance_running(AppId(0), ServerId(0), vip, 1.0).unwrap();
+        let (vm, _) = st
+            .add_instance_running(AppId(0), ServerId(0), vip, 1.0)
+            .unwrap();
         mgr.submit(Priority::Low, Request::DeleteRip { vm });
         let out = mgr.process_all(&mut st);
         assert_eq!(out[0].1, Response::Done);
@@ -470,7 +518,14 @@ mod tests {
                 .fleet
                 .create_vm_running(ServerId(i), 0, st.config.vm_cpu_slice, st.config.vm_mem_mb)
                 .unwrap();
-            mgr.submit(Priority::Normal, Request::NewRip { app: AppId(0), vm, weight: 1.0 });
+            mgr.submit(
+                Priority::Normal,
+                Request::NewRip {
+                    app: AppId(0),
+                    vm,
+                    weight: 1.0,
+                },
+            );
         }
         mgr.process_all(&mut st);
         // Both switches should host 2 RIPs each (tie-broken by occupancy).

@@ -67,7 +67,10 @@ impl DnsConfig {
             "stale_fraction must be in [0,1]"
         );
         assert!(!self.ttl.is_zero(), "ttl must be positive");
-        assert!(!self.stale_half_life.is_zero(), "stale_half_life must be positive");
+        assert!(
+            !self.stale_half_life.is_zero(),
+            "stale_half_life must be positive"
+        );
     }
 
     /// Fraction of demand that has moved to the *new* exposure weights
@@ -128,7 +131,11 @@ impl DnsSystem {
     /// Create a DNS system.
     pub fn new(config: DnsConfig) -> Self {
         config.validate();
-        DnsSystem { config, apps: BTreeMap::new(), reconfigurations: 0 }
+        DnsSystem {
+            config,
+            apps: BTreeMap::new(),
+            reconfigurations: 0,
+        }
     }
 
     /// The configured behaviour parameters.
@@ -147,14 +154,24 @@ impl DnsSystem {
     /// shares to the new weights per [`DnsConfig::shifted_fraction`].
     pub fn set_exposure(&mut self, app: AppKey, weights: Vec<(VipAddr, f64)>, now: SimTime) {
         let baseline = self.effective_shares(app, now);
-        self.apps.insert(app, AppExposure { target: weights, baseline, changed_at: now });
+        self.apps.insert(
+            app,
+            AppExposure {
+                target: weights,
+                baseline,
+                changed_at: now,
+            },
+        );
         self.reconfigurations += 1;
     }
 
     /// The VIPs currently *published* for an app (target weights,
     /// normalized). New clients resolve to these.
     pub fn published_shares(&self, app: AppKey) -> Vec<(VipAddr, f64)> {
-        self.apps.get(&app).map(|e| normalize(&e.target)).unwrap_or_default()
+        self.apps
+            .get(&app)
+            .map(|e| normalize(&e.target))
+            .unwrap_or_default()
     }
 
     /// The *effective* demand shares at `now`, accounting for TTL-bound
@@ -205,7 +222,10 @@ impl DnsSystem {
 
     /// Apps with at least one published VIP.
     pub fn app_count(&self) -> usize {
-        self.apps.values().filter(|e| !normalize(&e.target).is_empty()).count()
+        self.apps
+            .values()
+            .filter(|e| !normalize(&e.target).is_empty())
+            .count()
     }
 }
 
@@ -226,7 +246,11 @@ mod tests {
     }
 
     fn share(shares: &[(VipAddr, f64)], v: VipAddr) -> f64 {
-        shares.iter().find(|&&(x, _)| x == v).map(|&(_, s)| s).unwrap_or(0.0)
+        shares
+            .iter()
+            .find(|&&(x, _)| x == v)
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0)
     }
 
     #[test]
@@ -267,7 +291,10 @@ mod tests {
         let s = d.effective_shares(0, SimTime::from_secs(220));
         let residue = share(&s, V1);
         let expect = 0.2 * 0.5f64.powf(120.0 / 600.0);
-        assert!((residue - expect).abs() < 1e-9, "residue {residue} vs {expect}");
+        assert!(
+            (residue - expect).abs() < 1e-9,
+            "residue {residue} vs {expect}"
+        );
     }
 
     #[test]

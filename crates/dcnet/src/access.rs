@@ -87,7 +87,12 @@ impl AccessNetwork {
     pub fn symmetric(n: u32, capacity_bps: f64, cost_per_gb: f64) -> Self {
         let mut net = AccessNetwork::new();
         for i in 0..n {
-            net.add_link(BorderRouterId(i), AccessRouterId(i), capacity_bps, cost_per_gb);
+            net.add_link(
+                BorderRouterId(i),
+                AccessRouterId(i),
+                capacity_bps,
+                cost_per_gb,
+            );
         }
         net
     }
@@ -105,7 +110,13 @@ impl AccessNetwork {
         let id = AccessLinkId(self.links.len() as u32);
         self.num_border = self.num_border.max(border.0 + 1);
         self.num_access_routers = self.num_access_routers.max(access_router.0 + 1);
-        self.links.push(AccessLink { id, border, access_router, capacity_bps, cost_per_gb });
+        self.links.push(AccessLink {
+            id,
+            border,
+            access_router,
+            capacity_bps,
+            cost_per_gb,
+        });
         id
     }
 
@@ -196,7 +207,7 @@ mod tests {
         let mut net = AccessNetwork::new();
         net.add_link(BorderRouterId(0), AccessRouterId(0), 10e9, 0.10); // expensive
         net.add_link(BorderRouterId(1), AccessRouterId(1), 10e9, 0.01); // cheap
-        // 8 Gbps = 1 GB/s on each.
+                                                                        // 8 Gbps = 1 GB/s on each.
         let c = net.cost_rate(&[8e9, 8e9]);
         assert!((c - 0.11).abs() < 1e-9);
     }

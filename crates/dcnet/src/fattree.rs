@@ -31,12 +31,18 @@ impl FatTree {
     /// even port count) or `link_bps` is not a positive whole number of
     /// bits per second.
     pub fn new(k: usize, link_bps: f64) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2, got {k}");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree requires even k >= 2, got {k}"
+        );
         assert!(
             link_bps > 0.0 && link_bps.fract() == 0.0 && link_bps <= u64::MAX as f64,
             "link rate must be a positive whole bits/s"
         );
-        FatTree { k, link_bps_int: link_bps as u64 }
+        FatTree {
+            k,
+            link_bps_int: link_bps as u64,
+        }
     }
 
     /// Smallest even `k` such that a `k`-ary fat-tree connects at least

@@ -63,10 +63,16 @@ impl Allocation {
 /// Panics on negative demands/capacities or on a link index out of range.
 pub fn max_min_allocate(link_caps_bps: &[f64], flows: &[Flow]) -> Allocation {
     for &c in link_caps_bps {
-        assert!(c >= 0.0 && c.is_finite(), "link capacity must be finite and >= 0");
+        assert!(
+            c >= 0.0 && c.is_finite(),
+            "link capacity must be finite and >= 0"
+        );
     }
     for f in flows {
-        assert!(f.demand_bps >= 0.0 && f.demand_bps.is_finite(), "flow demand must be finite and >= 0");
+        assert!(
+            f.demand_bps >= 0.0 && f.demand_bps.is_finite(),
+            "flow demand must be finite and >= 0"
+        );
         for &l in &f.links {
             assert!(l < link_caps_bps.len(), "link index {l} out of range");
         }
@@ -128,7 +134,9 @@ pub fn max_min_allocate(link_caps_bps: &[f64], flows: &[Flow]) -> Allocation {
                 continue;
             }
             let done = rates[i] + EPS >= flows[i].demand_bps
-                || f.links.iter().any(|&l| residual[l] <= EPS * link_caps_bps[l].max(1.0));
+                || f.links
+                    .iter()
+                    .any(|&l| residual[l] <= EPS * link_caps_bps[l].max(1.0));
             if done {
                 active[i] = false;
                 for &l in &f.links {
@@ -152,9 +160,19 @@ pub fn max_min_allocate(link_caps_bps: &[f64], flows: &[Flow]) -> Allocation {
     let utilization: Vec<f64> = link_caps_bps
         .iter()
         .zip(&residual)
-        .map(|(&c, &r)| if c > 0.0 { ((c - r) / c).clamp(0.0, 1.0) } else { 0.0 })
+        .map(|(&c, &r)| {
+            if c > 0.0 {
+                ((c - r) / c).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        })
         .collect();
-    Allocation { rates_bps: rates, unserved_bps: unserved, link_utilization: utilization }
+    Allocation {
+        rates_bps: rates,
+        unserved_bps: unserved,
+        link_utilization: utilization,
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +212,11 @@ mod tests {
         // caps: link0 = 2, link1 = 4. Fair shares: A limited by link0 to 1,
         // B gets remaining 1 on link0... progressive filling: raise all to
         // 1 (link0 saturates with A+B), freeze A and B, C continues to 3.
-        let flows = [Flow::new(10.0, vec![0, 1]), Flow::new(10.0, vec![0]), Flow::new(10.0, vec![1])];
+        let flows = [
+            Flow::new(10.0, vec![0, 1]),
+            Flow::new(10.0, vec![0]),
+            Flow::new(10.0, vec![1]),
+        ];
         let a = max_min_allocate(&[2.0, 4.0], &flows);
         assert!((a.rates_bps[0] - 1.0).abs() < TOL);
         assert!((a.rates_bps[1] - 1.0).abs() < TOL);
@@ -231,7 +253,11 @@ mod tests {
                 (0.0f64..50.0, proptest::collection::vec(0..nl, 0..=nl)),
                 1..12,
             )
-            .prop_map(|fs| fs.into_iter().map(|(d, ls)| Flow::new(d, ls)).collect::<Vec<_>>());
+            .prop_map(|fs| {
+                fs.into_iter()
+                    .map(|(d, ls)| Flow::new(d, ls))
+                    .collect::<Vec<_>>()
+            });
             (Just(caps), flows)
         })
     }

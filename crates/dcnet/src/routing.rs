@@ -57,7 +57,11 @@ impl RouteTable {
     /// between issuing an update and the Internet honoring it; tens of
     /// seconds to minutes in practice).
     pub fn new(convergence: SimDuration) -> Self {
-        RouteTable { convergence, routes: HashMap::new(), updates_sent: 0 }
+        RouteTable {
+            convergence,
+            routes: HashMap::new(),
+            updates_sent: 0,
+        }
     }
 
     /// The configured convergence delay.
@@ -74,11 +78,21 @@ impl RouteTable {
     /// Advertise `prefix` at `router` with the given AS-path padding.
     /// Re-advertising an existing route (e.g. to change its padding, or to
     /// resurrect a withdrawn one) also counts as an update.
-    pub fn advertise(&mut self, prefix: Prefix, router: AccessRouterId, padding: u32, now: SimTime) {
+    pub fn advertise(
+        &mut self,
+        prefix: Prefix,
+        router: AccessRouterId,
+        padding: u32,
+        now: SimTime,
+    ) {
         self.updates_sent += 1;
         self.routes.insert(
             (prefix, router),
-            RouteState { advertised_at: now, padding, withdrawn_at: None },
+            RouteState {
+                advertised_at: now,
+                padding,
+                withdrawn_at: None,
+            },
         );
     }
 
@@ -119,7 +133,10 @@ impl RouteTable {
                 None => true,
                 Some(w) => now < w + self.convergence,
             })
-            .map(|((_, r), s)| ActiveRoute { router: *r, padding: s.padding })
+            .map(|((_, r), s)| ActiveRoute {
+                router: *r,
+                padding: s.padding,
+            })
             .collect();
         v.sort_by_key(|r| (r.padding, r.router));
         v
@@ -134,7 +151,10 @@ impl RouteTable {
         let Some(min_pad) = usable.iter().map(|r| r.padding).min() else {
             return Vec::new();
         };
-        usable.into_iter().filter(|r| r.padding == min_pad).collect()
+        usable
+            .into_iter()
+            .filter(|r| r.padding == min_pad)
+            .collect()
     }
 
     /// `true` if `prefix` is reachable (has any usable route) at `now`.
@@ -245,8 +265,20 @@ mod tests {
         rt.advertise(41, AR0, 0, SimTime::ZERO);
         rt.advertise(42, AR1, 0, SimTime::ZERO);
         let t = SimTime::from_secs(120);
-        assert_eq!(rt.usable_routes(41, t), vec![ActiveRoute { router: AR0, padding: 0 }]);
-        assert_eq!(rt.usable_routes(42, t), vec![ActiveRoute { router: AR1, padding: 0 }]);
+        assert_eq!(
+            rt.usable_routes(41, t),
+            vec![ActiveRoute {
+                router: AR0,
+                padding: 0
+            }]
+        );
+        assert_eq!(
+            rt.usable_routes(42, t),
+            vec![ActiveRoute {
+                router: AR1,
+                padding: 0
+            }]
+        );
     }
 
     #[test]

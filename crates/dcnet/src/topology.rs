@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn nonblocking_defaults() {
-        let t = Flat { hosts: 16, nic: 1e9 };
+        let t = Flat {
+            hosts: 16,
+            nic: 1e9,
+        };
         assert!((t.oversubscription() - 1.0).abs() < 1e-12);
         assert!((t.guaranteed_host_bps() - 1e9).abs() < 1.0);
     }

@@ -49,11 +49,17 @@ impl Vl2 {
         server_nic_bps: f64,
         fabric_link_bps: f64,
     ) -> Self {
-        assert!(da >= 2 && da % 2 == 0, "d_a must be even >= 2");
-        assert!(di >= 2 && di % 2 == 0, "d_i must be even >= 2");
+        assert!(da >= 2 && da.is_multiple_of(2), "d_a must be even >= 2");
+        assert!(di >= 2 && di.is_multiple_of(2), "d_i must be even >= 2");
         assert!(servers_per_tor > 0);
         assert!(server_nic_bps > 0.0 && fabric_link_bps > 0.0);
-        Vl2 { da, di, servers_per_tor, server_nic_bps, fabric_link_bps }
+        Vl2 {
+            da,
+            di,
+            servers_per_tor,
+            server_nic_bps,
+            fabric_link_bps,
+        }
     }
 
     /// The reference VL2 configuration from the SIGCOMM'09 paper scaled to
@@ -153,7 +159,11 @@ mod tests {
         // 20 × 1 Gbps servers behind 2 × 10 Gbps uplinks: uplinks (20 Gbps)
         // equal server aggregate (20 Gbps) → oversubscription 1.0.
         let t = Vl2::new(8, 8, 20, 1e9, 10e9);
-        assert!((t.oversubscription() - 1.0).abs() < 1e-9, "got {}", t.oversubscription());
+        assert!(
+            (t.oversubscription() - 1.0).abs() < 1e-9,
+            "got {}",
+            t.oversubscription()
+        );
     }
 
     #[test]

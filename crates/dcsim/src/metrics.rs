@@ -79,7 +79,10 @@ impl TimeSeries {
 
     /// Maximum recorded value, if any.
     pub fn max(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
     }
 
     /// First time at which the value is `<= threshold`, searching points

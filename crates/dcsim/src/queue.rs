@@ -73,7 +73,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue with the clock at `SimTime::ZERO`.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The current simulation time: the timestamp of the last popped event
@@ -185,7 +189,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(1), "a");
         q.schedule(SimTime::from_secs(3), "b");
-        assert_eq!(q.pop_before(SimTime::from_secs(2)), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(
+            q.pop_before(SimTime::from_secs(2)),
+            Some((SimTime::from_secs(1), "a"))
+        );
         assert_eq!(q.pop_before(SimTime::from_secs(2)), None);
         assert_eq!(q.len(), 1);
     }

@@ -37,7 +37,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// The same triple always yields the same child seed; distinct triples
 /// yield (with overwhelming probability) unrelated streams.
 pub fn derive_seed(seed: u64, label: &str, index: u64) -> u64 {
-    let mut s = seed ^ fnv1a(label.as_bytes()).rotate_left(17) ^ index.wrapping_mul(0x9E3779B97F4A7C15);
+    let mut s =
+        seed ^ fnv1a(label.as_bytes()).rotate_left(17) ^ index.wrapping_mul(0x9E3779B97F4A7C15);
     // A couple of splitmix rounds to decorrelate nearby indices.
     splitmix64(&mut s);
     splitmix64(&mut s)
@@ -89,7 +90,11 @@ mod tests {
             let x = derive_seed(1, "w", i);
             let y = derive_seed(1, "w", i + 1);
             let diff = (x ^ y).count_ones();
-            assert!(diff > 10, "only {diff} differing bits between indices {i} and {}", i + 1);
+            assert!(
+                diff > 10,
+                "only {diff} differing bits between indices {i} and {}",
+                i + 1
+            );
         }
     }
 

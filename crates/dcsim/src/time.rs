@@ -10,11 +10,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An instant in simulation time (microseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulation time (microseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -40,7 +44,10 @@ impl SimTime {
 
     /// Construct from fractional seconds (rounds to the nearest microsecond).
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "SimTime must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "SimTime must be finite and non-negative"
+        );
         SimTime((s * 1e6).round() as u64)
     }
 
@@ -82,7 +89,10 @@ impl SimDuration {
 
     /// Construct from fractional seconds (rounds to the nearest microsecond).
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "SimDuration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "SimDuration must be finite and non-negative"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 
@@ -190,7 +200,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
         assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
         assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_millis(1_500));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_micros(1_000_000));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(1_000_000)
+        );
     }
 
     #[test]

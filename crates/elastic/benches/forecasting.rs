@@ -1,0 +1,73 @@
+//! Forecasting throughput at paper scale: one control-epoch tick over
+//! 300,000 application predictors must be cheap relative to the 10 s
+//! epoch (§II scale; the forecaster is O(1)/app and allocation-free).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastic::forecast::{ForecastConfig, ForecastMethod, Predictor};
+use elastic::{AppObservation, ElasticConfig, ElasticController};
+
+const PAPER_APPS: usize = 300_000;
+
+fn bench_predictor_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forecasting");
+    for method in [
+        ForecastMethod::Ewma,
+        ForecastMethod::Holt,
+        ForecastMethod::PeakOverWindow,
+    ] {
+        let cfg = ForecastConfig {
+            method,
+            ..ForecastConfig::default()
+        };
+        let mut predictors: Vec<Predictor> =
+            (0..PAPER_APPS).map(|_| Predictor::new(&cfg)).collect();
+        // Pre-warm so the steady-state (not cold-start) path is measured.
+        for (i, p) in predictors.iter_mut().enumerate() {
+            for k in 0..4 {
+                p.observe((i % 97) as f64 + k as f64);
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("observe_predict_300k", format!("{method:?}")),
+            &cfg,
+            |b, _| {
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1;
+                    let mut acc = 0.0f64;
+                    for (i, p) in predictors.iter_mut().enumerate() {
+                        p.observe(((i as u64 + t) % 1024) as f64);
+                        acc += p.predict(3);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_controller_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forecasting");
+    // Full controller tick (forecast + control law + arbitration) at
+    // paper scale, with a quiet fleet (the common case: most apps need
+    // no action most epochs).
+    let mut ctl = ElasticController::new(ElasticConfig::proactive(), PAPER_APPS);
+    let obs: Vec<AppObservation> = (0..PAPER_APPS)
+        .map(|i| AppObservation {
+            demand: 0.6 + (i % 7) as f64 * 0.01,
+            capacity: 1.2,
+            instances: 3,
+            slice: 0.4,
+            min_slice: 0.4,
+            max_slice: 2.0,
+        })
+        .collect();
+    group.bench_function("controller_tick_300k_apps", |b| {
+        b.iter(|| black_box(ctl.tick(black_box(&obs))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictor_tick, bench_controller_epoch);
+criterion_main!(benches);

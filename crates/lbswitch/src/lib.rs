@@ -27,4 +27,4 @@ pub mod policy;
 pub mod switch;
 
 pub use limits::SwitchLimits;
-pub use switch::{LbSwitch, SwitchError, SwitchId, VipAddr, RipAddr};
+pub use switch::{LbSwitch, RipAddr, SwitchError, SwitchId, VipAddr};

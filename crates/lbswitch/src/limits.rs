@@ -44,7 +44,10 @@ impl SwitchLimits {
         assert!(self.max_rips > 0, "max_rips must be positive");
         assert!(self.capacity_bps > 0.0, "capacity must be positive");
         assert!(self.max_pps > 0.0, "pps limit must be positive");
-        assert!(self.max_connections > 0, "connection limit must be positive");
+        assert!(
+            self.max_connections > 0,
+            "connection limit must be positive"
+        );
     }
 
     /// Minimum number of switches needed for `apps` applications with

@@ -32,7 +32,10 @@ pub fn split_by_weight(weights: &[f64], demand: f64) -> Vec<f64> {
     if total <= 0.0 {
         return vec![0.0; weights.len()];
     }
-    weights.iter().map(|&w| if w > 0.0 { demand * w / total } else { 0.0 }).collect()
+    weights
+        .iter()
+        .map(|&w| if w > 0.0 { demand * w / total } else { 0.0 })
+        .collect()
 }
 
 /// State for smooth weighted round-robin (the nginx algorithm): on each
@@ -70,7 +73,7 @@ impl WrrState {
                 continue;
             }
             self.current[i] += w;
-            if best.map_or(true, |b| self.current[i] > self.current[b]) {
+            if best.is_none_or(|b| self.current[i] > self.current[b]) {
                 best = Some(i);
             }
         }

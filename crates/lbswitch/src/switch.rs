@@ -131,7 +131,13 @@ impl LbSwitch {
     /// Create a switch with the given limits.
     pub fn new(id: SwitchId, limits: SwitchLimits) -> Self {
         limits.validate();
-        LbSwitch { id, limits, vips: BTreeMap::new(), rip_total: 0, total_conns: 0 }
+        LbSwitch {
+            id,
+            limits,
+            vips: BTreeMap::new(),
+            rip_total: 0,
+            total_conns: 0,
+        }
     }
 
     /// This switch's id.
@@ -223,15 +229,25 @@ impl LbSwitch {
 
     /// Add a RIP under a VIP with the given weight.
     pub fn add_rip(&mut self, vip: VipAddr, rip: RipAddr, weight: f64) -> Result<(), SwitchError> {
-        assert!(weight >= 0.0 && weight.is_finite(), "weight must be finite and >= 0");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "weight must be finite and >= 0"
+        );
         if self.rip_total >= self.limits.max_rips {
             return Err(SwitchError::RipLimitExceeded);
         }
-        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let cfg = self
+            .vips
+            .get_mut(&vip)
+            .ok_or(SwitchError::UnknownVip(vip))?;
         if cfg.rips.iter().any(|r| r.rip == rip) {
             return Err(SwitchError::DuplicateRip(vip, rip));
         }
-        cfg.rips.push(RipEntry { rip, weight, active_conns: 0 });
+        cfg.rips.push(RipEntry {
+            rip,
+            weight,
+            active_conns: 0,
+        });
         self.rip_total += 1;
         Ok(())
     }
@@ -239,7 +255,10 @@ impl LbSwitch {
     /// Remove a RIP from a VIP. Any sessions still pinned to it are
     /// dropped; the count is returned (0 when gracefully drained first).
     pub fn remove_rip(&mut self, vip: VipAddr, rip: RipAddr) -> Result<u64, SwitchError> {
-        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let cfg = self
+            .vips
+            .get_mut(&vip)
+            .ok_or(SwitchError::UnknownVip(vip))?;
         let pos = cfg
             .rips
             .iter()
@@ -252,9 +271,20 @@ impl LbSwitch {
     }
 
     /// Set the weight of one RIP (§IV.F — the fast knob).
-    pub fn set_rip_weight(&mut self, vip: VipAddr, rip: RipAddr, weight: f64) -> Result<(), SwitchError> {
-        assert!(weight >= 0.0 && weight.is_finite(), "weight must be finite and >= 0");
-        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+    pub fn set_rip_weight(
+        &mut self,
+        vip: VipAddr,
+        rip: RipAddr,
+        weight: f64,
+    ) -> Result<(), SwitchError> {
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "weight must be finite and >= 0"
+        );
+        let cfg = self
+            .vips
+            .get_mut(&vip)
+            .ok_or(SwitchError::UnknownVip(vip))?;
         let entry = cfg
             .rips
             .iter_mut()
@@ -266,7 +296,10 @@ impl LbSwitch {
 
     /// Set the selection policy for a VIP.
     pub fn set_policy(&mut self, vip: VipAddr, policy: Policy) -> Result<(), SwitchError> {
-        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let cfg = self
+            .vips
+            .get_mut(&vip)
+            .ok_or(SwitchError::UnknownVip(vip))?;
         cfg.policy = policy;
         Ok(())
     }
@@ -290,7 +323,10 @@ impl LbSwitch {
         if self.total_conns >= self.limits.max_connections {
             return Err(SwitchError::ConnectionLimitExceeded);
         }
-        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let cfg = self
+            .vips
+            .get_mut(&vip)
+            .ok_or(SwitchError::UnknownVip(vip))?;
         let weights = cfg.weights();
         let idx = match cfg.policy {
             Policy::WeightedRoundRobin => cfg.wrr.pick(&weights),
@@ -308,13 +344,19 @@ impl LbSwitch {
 
     /// Close a session previously opened on `(vip, rip)`.
     pub fn close_session(&mut self, vip: VipAddr, rip: RipAddr) -> Result<(), SwitchError> {
-        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let cfg = self
+            .vips
+            .get_mut(&vip)
+            .ok_or(SwitchError::UnknownVip(vip))?;
         let entry = cfg
             .rips
             .iter_mut()
             .find(|r| r.rip == rip)
             .ok_or(SwitchError::UnknownRip(vip, rip))?;
-        assert!(entry.active_conns > 0, "closing a session that was never opened");
+        assert!(
+            entry.active_conns > 0,
+            "closing a session that was never opened"
+        );
         entry.active_conns -= 1;
         self.total_conns -= 1;
         Ok(())
@@ -325,7 +367,10 @@ impl LbSwitch {
     /// Set the offered external load of one VIP for this epoch (bits/s).
     pub fn set_offered_load(&mut self, vip: VipAddr, bps: f64) -> Result<(), SwitchError> {
         assert!(bps >= 0.0 && bps.is_finite());
-        let cfg = self.vips.get_mut(&vip).ok_or(SwitchError::UnknownVip(vip))?;
+        let cfg = self
+            .vips
+            .get_mut(&vip)
+            .ok_or(SwitchError::UnknownVip(vip))?;
         cfg.offered_bps = bps;
         Ok(())
     }
@@ -365,7 +410,12 @@ impl LbSwitch {
             1.0
         };
         let shares = split_by_weight(&cfg.weights(), cfg.offered_bps * scale);
-        Ok(cfg.rips.iter().zip(shares).map(|(r, s)| (r.rip, s)).collect())
+        Ok(cfg
+            .rips
+            .iter()
+            .zip(shares)
+            .map(|(r, s)| (r.rip, s))
+            .collect())
     }
 }
 
@@ -406,7 +456,10 @@ mod tests {
         for i in 3..5 {
             sw.add_rip(VipAddr(1), RipAddr(i), 1.0).unwrap();
         }
-        assert_eq!(sw.add_rip(VipAddr(1), RipAddr(9), 1.0), Err(SwitchError::RipLimitExceeded));
+        assert_eq!(
+            sw.add_rip(VipAddr(1), RipAddr(9), 1.0),
+            Err(SwitchError::RipLimitExceeded)
+        );
         assert_eq!(sw.rip_count(), 5);
     }
 
@@ -414,7 +467,10 @@ mod tests {
     fn duplicates_rejected() {
         let mut sw = small_switch();
         sw.add_vip(VipAddr(0)).unwrap();
-        assert_eq!(sw.add_vip(VipAddr(0)), Err(SwitchError::DuplicateVip(VipAddr(0))));
+        assert_eq!(
+            sw.add_vip(VipAddr(0)),
+            Err(SwitchError::DuplicateVip(VipAddr(0)))
+        );
         sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
         assert_eq!(
             sw.add_rip(VipAddr(0), RipAddr(1), 2.0),
@@ -429,7 +485,10 @@ mod tests {
         sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
         let rip = sw.open_session(VipAddr(0), 7).unwrap();
         assert_eq!(rip, RipAddr(1));
-        assert_eq!(sw.remove_vip(VipAddr(0)), Err(SwitchError::NotQuiescent(VipAddr(0), 1)));
+        assert_eq!(
+            sw.remove_vip(VipAddr(0)),
+            Err(SwitchError::NotQuiescent(VipAddr(0), 1))
+        );
         sw.close_session(VipAddr(0), rip).unwrap();
         let rips = sw.remove_vip(VipAddr(0)).unwrap();
         assert_eq!(rips.len(), 1);
@@ -457,7 +516,10 @@ mod tests {
         for k in 0..4 {
             sw.open_session(VipAddr(0), k).unwrap();
         }
-        assert_eq!(sw.open_session(VipAddr(0), 9), Err(SwitchError::ConnectionLimitExceeded));
+        assert_eq!(
+            sw.open_session(VipAddr(0), 9),
+            Err(SwitchError::ConnectionLimitExceeded)
+        );
     }
 
     #[test]
@@ -481,7 +543,8 @@ mod tests {
     fn least_connections_policy_fills_unloaded_rip() {
         let mut sw = LbSwitch::new(SwitchId(0), SwitchLimits::CISCO_CATALYST);
         sw.add_vip(VipAddr(0)).unwrap();
-        sw.set_policy(VipAddr(0), Policy::WeightedLeastConnections).unwrap();
+        sw.set_policy(VipAddr(0), Policy::WeightedLeastConnections)
+            .unwrap();
         sw.add_rip(VipAddr(0), RipAddr(1), 1.0).unwrap();
         sw.add_rip(VipAddr(0), RipAddr(2), 1.0).unwrap();
         // Preload rip1 with sessions via WRR-independent path.
@@ -543,8 +606,14 @@ mod tests {
     #[test]
     fn unknown_targets_error() {
         let mut sw = small_switch();
-        assert!(matches!(sw.add_rip(VipAddr(9), RipAddr(0), 1.0), Err(SwitchError::UnknownVip(_))));
-        assert!(matches!(sw.set_rip_weight(VipAddr(9), RipAddr(0), 1.0), Err(SwitchError::UnknownVip(_))));
+        assert!(matches!(
+            sw.add_rip(VipAddr(9), RipAddr(0), 1.0),
+            Err(SwitchError::UnknownVip(_))
+        ));
+        assert!(matches!(
+            sw.set_rip_weight(VipAddr(9), RipAddr(0), 1.0),
+            Err(SwitchError::UnknownVip(_))
+        ));
         sw.add_vip(VipAddr(9)).unwrap();
         assert!(matches!(
             sw.set_rip_weight(VipAddr(9), RipAddr(0), 1.0),

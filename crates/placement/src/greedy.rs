@@ -109,8 +109,19 @@ mod tests {
 
     fn problem() -> PlacementProblem {
         PlacementProblem {
-            servers: vec![ServerCap { cpu: 4.0, max_vms: 8 }; 4],
-            apps: (0..6).map(|_| AppReq { demand_cpu: 2.0, vm_cap: 2.0 }).collect(),
+            servers: vec![
+                ServerCap {
+                    cpu: 4.0,
+                    max_vms: 8
+                };
+                4
+            ],
+            apps: (0..6)
+                .map(|_| AppReq {
+                    demand_cpu: 2.0,
+                    vm_cap: 2.0,
+                })
+                .collect(),
         }
     }
 
@@ -133,7 +144,10 @@ mod tests {
         // the spread beats first-fit's packing.
         assert!(loads.iter().all(|&l| l > 0.0), "loads {loads:?}");
         let ff = FirstFit.compute(&problem(), None).server_loads(4);
-        assert!(jains_fairness(&loads) > jains_fairness(&ff), "wf {loads:?} vs ff {ff:?}");
+        assert!(
+            jains_fairness(&loads) > jains_fairness(&ff),
+            "wf {loads:?} vs ff {ff:?}"
+        );
     }
 
     #[test]
@@ -141,18 +155,42 @@ mod tests {
         // One pre-sized big server and several small ones: best-fit should
         // fill the snuggest space first.
         let problem = PlacementProblem {
-            servers: vec![ServerCap { cpu: 1.0, max_vms: 8 }, ServerCap { cpu: 8.0, max_vms: 8 }],
-            apps: vec![AppReq { demand_cpu: 1.0, vm_cap: 1.0 }],
+            servers: vec![
+                ServerCap {
+                    cpu: 1.0,
+                    max_vms: 8,
+                },
+                ServerCap {
+                    cpu: 8.0,
+                    max_vms: 8,
+                },
+            ],
+            apps: vec![AppReq {
+                demand_cpu: 1.0,
+                vm_cap: 1.0,
+            }],
         };
         let p = BestFit.compute(&problem, None);
-        assert!((p.get(0, 0) - 1.0).abs() < 1e-9, "best-fit should use the tight server");
+        assert!(
+            (p.get(0, 0) - 1.0).abs() < 1e-9,
+            "best-fit should use the tight server"
+        );
     }
 
     #[test]
     fn respects_vm_cap_chunks() {
         let problem = PlacementProblem {
-            servers: vec![ServerCap { cpu: 10.0, max_vms: 8 }; 3],
-            apps: vec![AppReq { demand_cpu: 5.0, vm_cap: 2.0 }],
+            servers: vec![
+                ServerCap {
+                    cpu: 10.0,
+                    max_vms: 8
+                };
+                3
+            ],
+            apps: vec![AppReq {
+                demand_cpu: 5.0,
+                vm_cap: 2.0,
+            }],
         };
         let p = FirstFit.compute(&problem, None);
         p.assert_feasible(&problem);

@@ -44,7 +44,10 @@ pub struct EdgeId(usize);
 impl FlowNetwork {
     /// Create a network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { graph: vec![Vec::new(); n], edges: Vec::new() }
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -60,12 +63,25 @@ impl FlowNetwork {
     /// Add a directed edge `from → to` with the given capacity; returns a
     /// handle usable with [`FlowNetwork::flow`] after solving.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> EdgeId {
-        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "node out of range"
+        );
         assert_ne!(from, to, "self-loops are not allowed");
         let fwd_idx = self.graph[from].len();
         let rev_idx = self.graph[to].len();
-        self.graph[from].push(Edge { to, cap, rev: rev_idx, orig: cap });
-        self.graph[to].push(Edge { to: from, cap: 0, rev: fwd_idx, orig: 0 });
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            rev: rev_idx,
+            orig: cap,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0,
+            rev: fwd_idx,
+            orig: 0,
+        });
         self.edges.push((from, fwd_idx));
         EdgeId(self.edges.len() - 1)
     }
@@ -122,7 +138,10 @@ impl FlowNetwork {
     /// Compute the maximum `s → t` flow. May be called once per network
     /// (capacities are consumed); edge flows are queryable afterwards.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
-        assert!(s < self.graph.len() && t < self.graph.len(), "node out of range");
+        assert!(
+            s < self.graph.len() && t < self.graph.len(),
+            "node out of range"
+        );
         assert_ne!(s, t);
         let n = self.graph.len();
         let mut flow = 0u64;
@@ -306,8 +325,8 @@ mod tests {
             }
             prop_assert_eq!(balance[0], -(total as i64));
             prop_assert_eq!(balance[n - 1], total as i64);
-            for node in 1..n - 1 {
-                prop_assert_eq!(balance[node], 0, "node {} unbalanced", node);
+            for (node, &b) in balance.iter().enumerate().take(n - 1).skip(1) {
+                prop_assert_eq!(b, 0, "node {} unbalanced", node);
             }
         }
     }

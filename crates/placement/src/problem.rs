@@ -71,7 +71,9 @@ pub struct Placement {
 impl Placement {
     /// An empty placement for `num_apps` applications.
     pub fn empty(num_apps: usize) -> Self {
-        Placement { allocs: vec![BTreeMap::new(); num_apps] }
+        Placement {
+            allocs: vec![BTreeMap::new(); num_apps],
+        }
     }
 
     /// Number of applications this placement covers.
@@ -145,7 +147,11 @@ impl Placement {
     /// plus instances stopped (capacity re-apportioning on an existing
     /// instance is free — that's the cheap knob of §IV.E/§IV.F).
     pub fn changes_from(&self, prev: &Placement) -> usize {
-        assert_eq!(self.allocs.len(), prev.allocs.len(), "placements cover different apps");
+        assert_eq!(
+            self.allocs.len(),
+            prev.allocs.len(),
+            "placements cover different apps"
+        );
         let mut changes = 0;
         for (cur, old) in self.allocs.iter().zip(&prev.allocs) {
             changes += cur.keys().filter(|s| !old.contains_key(s)).count();
@@ -165,8 +171,18 @@ impl Placement {
         let loads = self.server_loads(problem.servers.len());
         let counts = self.server_vm_counts(problem.servers.len());
         for (i, s) in problem.servers.iter().enumerate() {
-            assert!(loads[i] <= s.cpu + EPS, "server {i} over CPU: {} > {}", loads[i], s.cpu);
-            assert!(counts[i] <= s.max_vms, "server {i} over VM limit: {} > {}", counts[i], s.max_vms);
+            assert!(
+                loads[i] <= s.cpu + EPS,
+                "server {i} over CPU: {} > {}",
+                loads[i],
+                s.cpu
+            );
+            assert!(
+                counts[i] <= s.max_vms,
+                "server {i} over VM limit: {} > {}",
+                counts[i],
+                s.max_vms
+            );
         }
         for (a, req) in problem.apps.iter().enumerate() {
             assert!(
@@ -189,8 +205,10 @@ impl Placement {
     /// Boolean feasibility check (same conditions as
     /// [`Placement::assert_feasible`]).
     pub fn is_feasible(&self, problem: &PlacementProblem) -> bool {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.assert_feasible(problem)))
-            .is_ok()
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.assert_feasible(problem)
+        }))
+        .is_ok()
     }
 }
 
@@ -211,10 +229,25 @@ mod tests {
 
     fn problem() -> PlacementProblem {
         PlacementProblem {
-            servers: vec![ServerCap { cpu: 4.0, max_vms: 3 }, ServerCap { cpu: 2.0, max_vms: 3 }],
+            servers: vec![
+                ServerCap {
+                    cpu: 4.0,
+                    max_vms: 3,
+                },
+                ServerCap {
+                    cpu: 2.0,
+                    max_vms: 3,
+                },
+            ],
             apps: vec![
-                AppReq { demand_cpu: 3.0, vm_cap: 2.0 },
-                AppReq { demand_cpu: 1.0, vm_cap: 1.0 },
+                AppReq {
+                    demand_cpu: 3.0,
+                    vm_cap: 2.0,
+                },
+                AppReq {
+                    demand_cpu: 1.0,
+                    vm_cap: 1.0,
+                },
             ],
         }
     }
@@ -272,10 +305,19 @@ mod tests {
     #[test]
     fn vm_count_limit_checked() {
         let prob = PlacementProblem {
-            servers: vec![ServerCap { cpu: 10.0, max_vms: 1 }],
+            servers: vec![ServerCap {
+                cpu: 10.0,
+                max_vms: 1,
+            }],
             apps: vec![
-                AppReq { demand_cpu: 1.0, vm_cap: 1.0 },
-                AppReq { demand_cpu: 1.0, vm_cap: 1.0 },
+                AppReq {
+                    demand_cpu: 1.0,
+                    vm_cap: 1.0,
+                },
+                AppReq {
+                    demand_cpu: 1.0,
+                    vm_cap: 1.0,
+                },
             ],
         };
         let mut p = Placement::empty(2);

@@ -35,7 +35,10 @@ pub struct TangController {
 
 impl Default for TangController {
     fn default() -> Self {
-        TangController { quantum: 0.01, max_rounds: 16 }
+        TangController {
+            quantum: 0.01,
+            max_rounds: 16,
+        }
     }
 }
 
@@ -139,8 +142,14 @@ impl PlacementAlgorithm for TangController {
 
     fn compute(&self, problem: &PlacementProblem, prev: Option<&Placement>) -> Placement {
         problem.validate();
-        let mut placement = prev.cloned().unwrap_or_else(|| Placement::empty(problem.apps.len()));
-        assert_eq!(placement.num_apps(), problem.apps.len(), "incumbent covers different apps");
+        let mut placement = prev
+            .cloned()
+            .unwrap_or_else(|| Placement::empty(problem.apps.len()));
+        assert_eq!(
+            placement.num_apps(),
+            problem.apps.len(),
+            "incumbent covers different apps"
+        );
 
         for _round in 0..self.max_rounds {
             self.distribute(problem, &mut placement);
@@ -173,26 +182,51 @@ mod tests {
     #[test]
     fn satisfies_when_capacity_ample() {
         let problem = PlacementProblem {
-            servers: vec![ServerCap { cpu: 8.0, max_vms: 10 }; 4],
+            servers: vec![
+                ServerCap {
+                    cpu: 8.0,
+                    max_vms: 10
+                };
+                4
+            ],
             apps: vec![
-                AppReq { demand_cpu: 5.0, vm_cap: 2.0 },
-                AppReq { demand_cpu: 3.0, vm_cap: 4.0 },
-                AppReq { demand_cpu: 10.0, vm_cap: 2.0 },
+                AppReq {
+                    demand_cpu: 5.0,
+                    vm_cap: 2.0,
+                },
+                AppReq {
+                    demand_cpu: 3.0,
+                    vm_cap: 4.0,
+                },
+                AppReq {
+                    demand_cpu: 10.0,
+                    vm_cap: 2.0,
+                },
             ],
         };
         let p = solve(&problem, None);
         p.assert_feasible(&problem);
         // App 2 can hold at most one instance per server (4 × vm_cap 2.0
         // = 8 of its 10 demand); apps 0 and 1 are fully satisfiable.
-        assert!((p.total_satisfied() - 16.0).abs() < 0.1, "satisfied {}", p.total_satisfied());
+        assert!(
+            (p.total_satisfied() - 16.0).abs() < 0.1,
+            "satisfied {}",
+            p.total_satisfied()
+        );
         assert_eq!(p.instance_count(2), 4);
     }
 
     #[test]
     fn splits_across_vm_cap() {
         let problem = PlacementProblem {
-            servers: vec![ServerCap { cpu: 10.0, max_vms: 10 }],
-            apps: vec![AppReq { demand_cpu: 3.0, vm_cap: 1.0 }],
+            servers: vec![ServerCap {
+                cpu: 10.0,
+                max_vms: 10,
+            }],
+            apps: vec![AppReq {
+                demand_cpu: 3.0,
+                vm_cap: 1.0,
+            }],
         };
         let p = solve(&problem, None);
         p.assert_feasible(&problem);
@@ -204,23 +238,50 @@ mod tests {
     #[test]
     fn oversubscribed_fills_capacity() {
         let problem = PlacementProblem {
-            servers: vec![ServerCap { cpu: 2.0, max_vms: 4 }; 2],
+            servers: vec![
+                ServerCap {
+                    cpu: 2.0,
+                    max_vms: 4
+                };
+                2
+            ],
             apps: vec![
-                AppReq { demand_cpu: 4.0, vm_cap: 2.0 },
-                AppReq { demand_cpu: 4.0, vm_cap: 2.0 },
+                AppReq {
+                    demand_cpu: 4.0,
+                    vm_cap: 2.0,
+                },
+                AppReq {
+                    demand_cpu: 4.0,
+                    vm_cap: 2.0,
+                },
             ],
         };
         let p = solve(&problem, None);
         p.assert_feasible(&problem);
         // Total capacity 4, demand 8: the controller should fill capacity.
-        assert!((p.total_satisfied() - 4.0).abs() < 0.1, "satisfied {}", p.total_satisfied());
+        assert!(
+            (p.total_satisfied() - 4.0).abs() < 0.1,
+            "satisfied {}",
+            p.total_satisfied()
+        );
     }
 
     #[test]
     fn incremental_run_minimizes_changes() {
         let problem = PlacementProblem {
-            servers: vec![ServerCap { cpu: 4.0, max_vms: 8 }; 8],
-            apps: (0..16).map(|_| AppReq { demand_cpu: 1.5, vm_cap: 2.0 }).collect(),
+            servers: vec![
+                ServerCap {
+                    cpu: 4.0,
+                    max_vms: 8
+                };
+                8
+            ],
+            apps: (0..16)
+                .map(|_| AppReq {
+                    demand_cpu: 1.5,
+                    vm_cap: 2.0,
+                })
+                .collect(),
         };
         let p1 = solve(&problem, None);
         p1.assert_feasible(&problem);
@@ -241,8 +302,17 @@ mod tests {
     #[test]
     fn idle_instances_are_stopped() {
         let problem = PlacementProblem {
-            servers: vec![ServerCap { cpu: 4.0, max_vms: 8 }; 2],
-            apps: vec![AppReq { demand_cpu: 4.0, vm_cap: 4.0 }],
+            servers: vec![
+                ServerCap {
+                    cpu: 4.0,
+                    max_vms: 8
+                };
+                2
+            ],
+            apps: vec![AppReq {
+                demand_cpu: 4.0,
+                vm_cap: 4.0,
+            }],
         };
         let p1 = solve(&problem, None);
         // Demand collapses to fit one instance.
@@ -256,8 +326,16 @@ mod tests {
     #[test]
     fn respects_vm_count_limits() {
         let problem = PlacementProblem {
-            servers: vec![ServerCap { cpu: 100.0, max_vms: 2 }],
-            apps: (0..5).map(|_| AppReq { demand_cpu: 1.0, vm_cap: 1.0 }).collect(),
+            servers: vec![ServerCap {
+                cpu: 100.0,
+                max_vms: 2,
+            }],
+            apps: (0..5)
+                .map(|_| AppReq {
+                    demand_cpu: 1.0,
+                    vm_cap: 1.0,
+                })
+                .collect(),
         };
         let p = solve(&problem, None);
         p.assert_feasible(&problem);
@@ -267,8 +345,14 @@ mod tests {
     #[test]
     fn zero_demand_places_nothing() {
         let problem = PlacementProblem {
-            servers: vec![ServerCap { cpu: 4.0, max_vms: 4 }],
-            apps: vec![AppReq { demand_cpu: 0.0, vm_cap: 1.0 }],
+            servers: vec![ServerCap {
+                cpu: 4.0,
+                max_vms: 4,
+            }],
+            apps: vec![AppReq {
+                demand_cpu: 0.0,
+                vm_cap: 1.0,
+            }],
         };
         let p = solve(&problem, None);
         assert_eq!(p.total_instances(), 0);

@@ -51,8 +51,14 @@ impl CostModel {
 
     /// Validate parameter ranges.
     pub fn validate(&self) {
-        assert!(self.migration_bps > 0.0, "migration bandwidth must be positive");
-        assert!(self.migration_overhead >= 0.0, "overhead must be non-negative");
+        assert!(
+            self.migration_bps > 0.0,
+            "migration bandwidth must be positive"
+        );
+        assert!(
+            self.migration_overhead >= 0.0,
+            "overhead must be non-negative"
+        );
     }
 }
 

@@ -51,7 +51,12 @@ impl Fleet {
     /// Create an empty fleet with the given cost model.
     pub fn new(cost: CostModel) -> Self {
         cost.validate();
-        Fleet { servers: Vec::new(), locations: BTreeMap::new(), next_vm: 0, cost }
+        Fleet {
+            servers: Vec::new(),
+            locations: BTreeMap::new(),
+            next_vm: 0,
+            cost,
+        }
     }
 
     /// Create a fleet of `n` identical servers.
@@ -87,16 +92,23 @@ impl Fleet {
 
     /// One server.
     pub fn server(&self, id: ServerId) -> Result<&Server, VmError> {
-        self.servers.get(id.0 as usize).ok_or(VmError::UnknownServer(id))
+        self.servers
+            .get(id.0 as usize)
+            .ok_or(VmError::UnknownServer(id))
     }
 
     fn server_mut(&mut self, id: ServerId) -> Result<&mut Server, VmError> {
-        self.servers.get_mut(id.0 as usize).ok_or(VmError::UnknownServer(id))
+        self.servers
+            .get_mut(id.0 as usize)
+            .ok_or(VmError::UnknownServer(id))
     }
 
     /// Where a VM currently lives.
     pub fn locate(&self, vm: VmId) -> Result<ServerId, VmError> {
-        self.locations.get(&vm).copied().ok_or(VmError::UnknownVm(vm))
+        self.locations
+            .get(&vm)
+            .copied()
+            .ok_or(VmError::UnknownVm(vm))
     }
 
     /// Look up a VM.
@@ -122,7 +134,13 @@ impl Fleet {
         now: SimTime,
     ) -> Result<VmId, VmError> {
         let ready_at = now + self.cost.boot;
-        self.spawn(server, app, cpu_slice, mem_mb, VmState::Booting { ready_at })
+        self.spawn(
+            server,
+            app,
+            cpu_slice,
+            mem_mb,
+            VmState::Booting { ready_at },
+        )
     }
 
     /// Create a VM that is already `Running` — used when bootstrapping a
@@ -159,7 +177,13 @@ impl Fleet {
         state: VmState,
     ) -> Result<VmId, VmError> {
         let id = VmId(self.next_vm);
-        let vm = Vm { id, app, cpu_slice, mem_mb, state };
+        let vm = Vm {
+            id,
+            app,
+            cpu_slice,
+            mem_mb,
+            state,
+        };
         self.server_mut(server)?
             .place(vm)
             .map_err(|e| VmError::Placement(server, e))?;
@@ -171,7 +195,10 @@ impl Fleet {
     /// Destroy a VM, freeing its slices immediately.
     pub fn destroy_vm(&mut self, id: VmId) -> Result<Vm, VmError> {
         let srv = self.locate(id)?;
-        let vm = self.server_mut(srv)?.evict(id).map_err(|_| VmError::UnknownVm(id))?;
+        let vm = self
+            .server_mut(srv)?
+            .evict(id)
+            .map_err(|_| VmError::UnknownVm(id))?;
         if let VmState::Migrating { to, .. } = vm.state {
             // Abort the in-flight migration: release the destination
             // reservation.
@@ -188,7 +215,12 @@ impl Fleet {
     /// the destination immediately; the VM keeps serving on the source
     /// until `now + migration_time(mem)`, then switches hosts. Returns the
     /// completion time.
-    pub fn migrate_vm(&mut self, id: VmId, dst: ServerId, now: SimTime) -> Result<SimTime, VmError> {
+    pub fn migrate_vm(
+        &mut self,
+        id: VmId,
+        dst: ServerId,
+        now: SimTime,
+    ) -> Result<SimTime, VmError> {
         let src = self.locate(id)?;
         if src == dst {
             return Err(VmError::BadState(id));
@@ -229,10 +261,16 @@ impl Fleet {
         let ids: Vec<VmId> = self.locations.keys().copied().collect();
         for id in ids {
             let srv = self.locations[&id];
-            let state = self.servers[srv.0 as usize].vm(id).expect("registry consistent").state;
+            let state = self.servers[srv.0 as usize]
+                .vm(id)
+                .expect("registry consistent")
+                .state;
             match state {
                 VmState::Booting { ready_at } if ready_at <= now => {
-                    self.servers[srv.0 as usize].vm_mut(id).expect("resident").state = VmState::Running;
+                    self.servers[srv.0 as usize]
+                        .vm_mut(id)
+                        .expect("resident")
+                        .state = VmState::Running;
                     changed.push(id);
                 }
                 VmState::Migrating { done_at, to } if done_at <= now => {
@@ -256,7 +294,10 @@ impl Fleet {
         self.locations
             .iter()
             .filter(|&(&id, &srv)| {
-                self.servers[srv.0 as usize].vm(id).map(|v| v.app == app).unwrap_or(false)
+                self.servers[srv.0 as usize]
+                    .vm(id)
+                    .map(|v| v.app == app)
+                    .unwrap_or(false)
             })
             .map(|(&id, _)| id)
             .collect()
@@ -271,7 +312,11 @@ mod tests {
     fn fleet(n: usize) -> Fleet {
         Fleet::homogeneous(
             n,
-            ServerSpec { cpu: 4.0, mem_mb: 8192, nic_bps: 1e9 },
+            ServerSpec {
+                cpu: 4.0,
+                mem_mb: 8192,
+                nic_bps: 1e9,
+            },
             CostModel::DEFAULT,
         )
     }
@@ -293,7 +338,9 @@ mod tests {
     #[test]
     fn clone_is_fast_and_inherits() {
         let mut f = fleet(2);
-        let vm = f.create_vm(ServerId(0), 7, 1.5, 2048, SimTime::ZERO).unwrap();
+        let vm = f
+            .create_vm(ServerId(0), 7, 1.5, 2048, SimTime::ZERO)
+            .unwrap();
         f.complete_transitions(SimTime::from_secs(120));
         let t = SimTime::from_secs(200);
         let c = f.clone_vm(vm, ServerId(1), t).unwrap();
@@ -301,20 +348,32 @@ mod tests {
         assert_eq!(cv.app, 7);
         assert!((cv.cpu_slice - 1.5).abs() < 1e-12);
         assert_eq!(cv.mem_mb, 2048);
-        assert_eq!(cv.state, VmState::Booting { ready_at: t + SimDuration::from_secs(1) });
+        assert_eq!(
+            cv.state,
+            VmState::Booting {
+                ready_at: t + SimDuration::from_secs(1)
+            }
+        );
     }
 
     #[test]
     fn cannot_clone_booting_vm() {
         let mut f = fleet(2);
-        let vm = f.create_vm(ServerId(0), 7, 1.0, 1024, SimTime::ZERO).unwrap();
-        assert_eq!(f.clone_vm(vm, ServerId(1), SimTime::ZERO), Err(VmError::BadState(vm)));
+        let vm = f
+            .create_vm(ServerId(0), 7, 1.0, 1024, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            f.clone_vm(vm, ServerId(1), SimTime::ZERO),
+            Err(VmError::BadState(vm))
+        );
     }
 
     #[test]
     fn migration_moves_vm_and_respects_reservation() {
         let mut f = fleet(2);
-        let vm = f.create_vm(ServerId(0), 7, 3.0, 4096, SimTime::ZERO).unwrap();
+        let vm = f
+            .create_vm(ServerId(0), 7, 3.0, 4096, SimTime::ZERO)
+            .unwrap();
         f.complete_transitions(SimTime::from_secs(120));
         let t = SimTime::from_secs(200);
         let done = f.migrate_vm(vm, ServerId(1), t).unwrap();
@@ -339,10 +398,16 @@ mod tests {
     #[test]
     fn migration_to_full_destination_fails_cleanly() {
         let mut f = fleet(2);
-        let big = f.create_vm(ServerId(1), 9, 4.0, 1024, SimTime::ZERO).unwrap();
-        let vm = f.create_vm(ServerId(0), 7, 1.0, 1024, SimTime::ZERO).unwrap();
+        let big = f
+            .create_vm(ServerId(1), 9, 4.0, 1024, SimTime::ZERO)
+            .unwrap();
+        let vm = f
+            .create_vm(ServerId(0), 7, 1.0, 1024, SimTime::ZERO)
+            .unwrap();
         f.complete_transitions(SimTime::from_secs(120));
-        let err = f.migrate_vm(vm, ServerId(1), SimTime::from_secs(121)).unwrap_err();
+        let err = f
+            .migrate_vm(vm, ServerId(1), SimTime::from_secs(121))
+            .unwrap_err();
         assert!(matches!(err, VmError::Placement(ServerId(1), _)));
         // Source unchanged and still consistent.
         assert_eq!(f.locate(vm).unwrap(), ServerId(0));
@@ -353,19 +418,26 @@ mod tests {
     #[test]
     fn destroy_aborts_migration() {
         let mut f = fleet(2);
-        let vm = f.create_vm(ServerId(0), 7, 3.0, 4096, SimTime::ZERO).unwrap();
+        let vm = f
+            .create_vm(ServerId(0), 7, 3.0, 4096, SimTime::ZERO)
+            .unwrap();
         f.complete_transitions(SimTime::from_secs(120));
-        f.migrate_vm(vm, ServerId(1), SimTime::from_secs(130)).unwrap();
+        f.migrate_vm(vm, ServerId(1), SimTime::from_secs(130))
+            .unwrap();
         f.destroy_vm(vm).unwrap();
         // Destination reservation released: full-size VM fits again.
-        assert!(f.create_vm(ServerId(1), 8, 4.0, 1024, SimTime::from_secs(131)).is_ok());
+        assert!(f
+            .create_vm(ServerId(1), 8, 4.0, 1024, SimTime::from_secs(131))
+            .is_ok());
         assert_eq!(f.num_vms(), 1);
     }
 
     #[test]
     fn self_migration_rejected() {
         let mut f = fleet(1);
-        let vm = f.create_vm(ServerId(0), 7, 1.0, 1024, SimTime::ZERO).unwrap();
+        let vm = f
+            .create_vm(ServerId(0), 7, 1.0, 1024, SimTime::ZERO)
+            .unwrap();
         f.complete_transitions(SimTime::from_secs(120));
         assert_eq!(
             f.migrate_vm(vm, ServerId(0), SimTime::from_secs(121)),
@@ -376,9 +448,15 @@ mod tests {
     #[test]
     fn vms_of_app_filters() {
         let mut f = fleet(2);
-        let a = f.create_vm(ServerId(0), 1, 1.0, 512, SimTime::ZERO).unwrap();
-        let _b = f.create_vm(ServerId(0), 2, 1.0, 512, SimTime::ZERO).unwrap();
-        let c = f.create_vm(ServerId(1), 1, 1.0, 512, SimTime::ZERO).unwrap();
+        let a = f
+            .create_vm(ServerId(0), 1, 1.0, 512, SimTime::ZERO)
+            .unwrap();
+        let _b = f
+            .create_vm(ServerId(0), 2, 1.0, 512, SimTime::ZERO)
+            .unwrap();
+        let c = f
+            .create_vm(ServerId(1), 1, 1.0, 512, SimTime::ZERO)
+            .unwrap();
         let mut of1 = f.vms_of_app(1);
         of1.sort();
         assert_eq!(of1, vec![a, c]);
@@ -387,7 +465,9 @@ mod tests {
     #[test]
     fn adjust_slice_via_fleet() {
         let mut f = fleet(1);
-        let vm = f.create_vm(ServerId(0), 1, 1.0, 512, SimTime::ZERO).unwrap();
+        let vm = f
+            .create_vm(ServerId(0), 1, 1.0, 512, SimTime::ZERO)
+            .unwrap();
         f.adjust_slice(vm, 2.5).unwrap();
         assert!((f.vm(vm).unwrap().cpu_slice - 2.5).abs() < 1e-12);
         assert!(f.adjust_slice(vm, 10.0).is_err());

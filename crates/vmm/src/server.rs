@@ -40,7 +40,11 @@ pub struct ServerSpec {
 impl ServerSpec {
     /// A typical commodity server of the paper's era: 8 cores, 32 GB RAM,
     /// 1 Gbps NIC.
-    pub const COMMODITY: ServerSpec = ServerSpec { cpu: 8.0, mem_mb: 32_768, nic_bps: 1e9 };
+    pub const COMMODITY: ServerSpec = ServerSpec {
+        cpu: 8.0,
+        mem_mb: 32_768,
+        nic_bps: 1e9,
+    };
 
     /// Validate the spec.
     pub fn validate(&self) {
@@ -130,7 +134,13 @@ impl Server {
     /// Create a server.
     pub fn new(id: ServerId, spec: ServerSpec) -> Self {
         spec.validate();
-        Server { id, spec, vms: BTreeMap::new(), inbound_cpu: 0.0, inbound_mem: 0 }
+        Server {
+            id,
+            spec,
+            vms: BTreeMap::new(),
+            inbound_cpu: 0.0,
+            inbound_mem: 0,
+        }
     }
 
     /// This server's id.
@@ -232,7 +242,11 @@ impl Server {
     /// Fails if the new slice does not fit alongside the other residents.
     pub fn adjust_slice(&mut self, id: VmId, new_cpu: f64) -> Result<(), PlaceError> {
         assert!(new_cpu > 0.0, "VM CPU slice must be positive");
-        let current = self.vms.get(&id).ok_or(PlaceError::UnknownVm(id))?.cpu_slice;
+        let current = self
+            .vms
+            .get(&id)
+            .ok_or(PlaceError::UnknownVm(id))?
+            .cpu_slice;
         let delta = new_cpu - current;
         if delta > self.cpu_free() + 1e-9 {
             return Err(PlaceError::InsufficientCpu);
@@ -252,12 +266,25 @@ mod tests {
     use super::*;
 
     fn vm(id: u32, cpu: f64, mem: u64) -> Vm {
-        Vm { id: VmId(id), app: 0, cpu_slice: cpu, mem_mb: mem, state: VmState::Running }
+        Vm {
+            id: VmId(id),
+            app: 0,
+            cpu_slice: cpu,
+            mem_mb: mem,
+            state: VmState::Running,
+        }
     }
 
     #[test]
     fn capacity_accounting() {
-        let mut s = Server::new(ServerId(0), ServerSpec { cpu: 4.0, mem_mb: 1000, nic_bps: 1e9 });
+        let mut s = Server::new(
+            ServerId(0),
+            ServerSpec {
+                cpu: 4.0,
+                mem_mb: 1000,
+                nic_bps: 1e9,
+            },
+        );
         s.place(vm(1, 1.5, 400)).unwrap();
         s.place(vm(2, 1.0, 300)).unwrap();
         assert!((s.cpu_used() - 2.5).abs() < 1e-12);
@@ -268,22 +295,42 @@ mod tests {
 
     #[test]
     fn rejects_overcommit() {
-        let mut s = Server::new(ServerId(0), ServerSpec { cpu: 2.0, mem_mb: 500, nic_bps: 1e9 });
+        let mut s = Server::new(
+            ServerId(0),
+            ServerSpec {
+                cpu: 2.0,
+                mem_mb: 500,
+                nic_bps: 1e9,
+            },
+        );
         s.place(vm(1, 1.5, 200)).unwrap();
         assert_eq!(s.place(vm(2, 1.0, 100)), Err(PlaceError::InsufficientCpu));
-        assert_eq!(s.place(vm(3, 0.4, 400)), Err(PlaceError::InsufficientMemory));
+        assert_eq!(
+            s.place(vm(3, 0.4, 400)),
+            Err(PlaceError::InsufficientMemory)
+        );
     }
 
     #[test]
     fn slice_adjustment_hot() {
-        let mut s = Server::new(ServerId(0), ServerSpec { cpu: 4.0, mem_mb: 1000, nic_bps: 1e9 });
+        let mut s = Server::new(
+            ServerId(0),
+            ServerSpec {
+                cpu: 4.0,
+                mem_mb: 1000,
+                nic_bps: 1e9,
+            },
+        );
         s.place(vm(1, 1.0, 100)).unwrap();
         s.place(vm(2, 2.0, 100)).unwrap();
         // Grow within free capacity.
         s.adjust_slice(VmId(1), 2.0).unwrap();
         assert!((s.cpu_free() - 0.0).abs() < 1e-12);
         // Growing further fails.
-        assert_eq!(s.adjust_slice(VmId(1), 2.5), Err(PlaceError::InsufficientCpu));
+        assert_eq!(
+            s.adjust_slice(VmId(1), 2.5),
+            Err(PlaceError::InsufficientCpu)
+        );
         // Shrink always works.
         s.adjust_slice(VmId(2), 0.5).unwrap();
         assert!((s.cpu_free() - 1.5).abs() < 1e-12);
@@ -291,7 +338,14 @@ mod tests {
 
     #[test]
     fn inbound_reservation_blocks_placement() {
-        let mut s = Server::new(ServerId(0), ServerSpec { cpu: 2.0, mem_mb: 500, nic_bps: 1e9 });
+        let mut s = Server::new(
+            ServerId(0),
+            ServerSpec {
+                cpu: 2.0,
+                mem_mb: 500,
+                nic_bps: 1e9,
+            },
+        );
         s.reserve_inbound(1.5, 300).unwrap();
         assert_eq!(s.place(vm(1, 1.0, 100)), Err(PlaceError::InsufficientCpu));
         s.release_inbound(1.5, 300);
@@ -311,8 +365,15 @@ mod tests {
     #[test]
     fn migrating_state_serves_traffic() {
         assert!(VmState::Running.serves_traffic());
-        assert!(VmState::Migrating { done_at: SimTime::ZERO, to: ServerId(1) }.serves_traffic());
-        assert!(!VmState::Booting { ready_at: SimTime::ZERO }.serves_traffic());
+        assert!(VmState::Migrating {
+            done_at: SimTime::ZERO,
+            to: ServerId(1)
+        }
+        .serves_traffic());
+        assert!(!VmState::Booting {
+            ready_at: SimTime::ZERO
+        }
+        .serves_traffic());
     }
 
     #[test]

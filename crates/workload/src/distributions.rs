@@ -73,7 +73,9 @@ mod tests {
     fn log_normal_median() {
         // Median of log-normal is e^mu.
         let mut rng = component_rng(4, "ln", 0);
-        let mut samples: Vec<f64> = (0..100_001).map(|_| log_normal(&mut rng, 1.0, 0.5)).collect();
+        let mut samples: Vec<f64> = (0..100_001)
+            .map(|_| log_normal(&mut rng, 1.0, 0.5))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = samples[50_000];
         assert!((median - 1.0f64.exp()).abs() < 0.05, "median {median}");
@@ -93,7 +95,9 @@ mod tests {
     #[test]
     fn poisson_large_lambda_mean() {
         let mut rng = component_rng(6, "pois-big", 0);
-        let samples: Vec<f64> = (0..50_000).map(|_| poisson(&mut rng, 500.0) as f64).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| poisson(&mut rng, 500.0) as f64)
+            .collect();
         assert!((mean_of(&samples) - 500.0).abs() < 1.0);
     }
 

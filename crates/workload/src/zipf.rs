@@ -11,7 +11,10 @@ use rand::Rng;
 /// `w_k ∝ 1 / (k+1)^s`, `Σ w_k = 1`. Rank 0 is the most popular.
 pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
     assert!(n > 0, "need at least one rank");
-    assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+    assert!(
+        s >= 0.0 && s.is_finite(),
+        "exponent must be finite and >= 0"
+    );
     let mut w: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
     let total: f64 = w.iter().sum();
     for x in &mut w {
@@ -105,12 +108,12 @@ mod tests {
         let z = Zipf::new(20, 1.0);
         let mut rng = component_rng(7, "zipf-test", 0);
         let n = 200_000;
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for rank in 0..5 {
-            let emp = counts[rank] as f64 / n as f64;
+        for (rank, &c) in counts.iter().enumerate().take(5) {
+            let emp = c as f64 / n as f64;
             let want = z.weight(rank);
             assert!((emp - want).abs() < 0.01, "rank {rank}: {emp} vs {want}");
         }

@@ -37,15 +37,30 @@ fn main() {
         peak: 8.0,
     });
 
-    let mut t = Table::new(["t (min)", "app demand (Mbps)", "served", "max pod util", "max sw util", "VMs"]);
+    let mut t = Table::new([
+        "t (min)",
+        "app demand (Mbps)",
+        "served",
+        "max pod util",
+        "max sw util",
+        "VMs",
+    ]);
     let total_epochs = 300u64; // 50 simulated minutes
     for i in 0..total_epochs {
         let snap = platform.step();
         if i % 15 == 0 {
             let demand = snap.app_demand_bps[victim as usize];
             let served = snap.served_fraction();
-            let pod_max = snap.pod_utilizations(&platform.state).iter().cloned().fold(0.0, f64::max);
-            let sw_max = snap.switch_utilizations(&platform.state).iter().cloned().fold(0.0, f64::max);
+            let pod_max = snap
+                .pod_utilizations(&platform.state)
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            let sw_max = snap
+                .switch_utilizations(&platform.state)
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
             t.row([
                 fnum(platform.now().as_secs_f64() / 60.0, 1),
                 fnum(demand / 1e6, 1),
@@ -60,9 +75,18 @@ fn main() {
 
     let c = platform.global.counters;
     println!("elastic response:");
-    println!("  slice adjustments      {}", platform.metrics.slice_adjustments.get());
-    println!("  instances started      {}", platform.metrics.instance_starts.get());
-    println!("  instances stopped      {}", platform.metrics.instance_stops.get());
+    println!(
+        "  slice adjustments      {}",
+        platform.metrics.slice_adjustments.get()
+    );
+    println!(
+        "  instances started      {}",
+        platform.metrics.instance_starts.get()
+    );
+    println!(
+        "  instances stopped      {}",
+        platform.metrics.instance_stops.get()
+    );
     println!("  deployments to pods    {}", c.deployments_completed);
     println!("  inter-pod reweights    {}", c.interpod_weight_adjustments);
     println!("  VIP drains started     {}", c.vip_drains_started);

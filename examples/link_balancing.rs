@@ -29,9 +29,19 @@ fn main() {
     // Skew: concentrate the top apps' DNS exposure onto their link-0 VIPs
     // (simulating a stale/naive configuration).
     let now = platform.now();
-    let top_apps: Vec<u32> = platform.workload.apps_by_popularity().into_iter().take(40).collect();
+    let top_apps: Vec<u32> = platform
+        .workload
+        .apps_by_popularity()
+        .into_iter()
+        .take(40)
+        .collect();
     for app in &top_apps {
-        let vips = platform.state.app(megadc::AppId(*app)).unwrap().vips.clone();
+        let vips = platform
+            .state
+            .app(megadc::AppId(*app))
+            .unwrap()
+            .vips
+            .clone();
         // Find a covered VIP advertised at router 0; put all weight there.
         let weights: Vec<(lbswitch::VipAddr, f64)> = vips
             .iter()
@@ -48,7 +58,15 @@ fn main() {
     }
 
     let updates_before = platform.state.routes.updates_sent();
-    let mut t = Table::new(["t (min)", "link0", "link1", "link2", "fairness", "exposure updates", "route updates"]);
+    let mut t = Table::new([
+        "t (min)",
+        "link0",
+        "link1",
+        "link2",
+        "fairness",
+        "exposure updates",
+        "route updates",
+    ]);
     for i in 0..120u64 {
         let snap = platform.step();
         if i % 10 == 0 {

@@ -28,17 +28,47 @@ fn main() {
 
     let mut t = Table::new(["metric", "value"]);
     t.row(["epochs run".to_string(), report.epochs.to_string()]);
-    t.row(["served fraction (final)".to_string(), fnum(report.final_served_fraction, 4)]);
-    t.row(["served fraction (mean)".to_string(), fnum(report.mean_served_fraction, 4)]);
-    t.row(["max link utilization".to_string(), fnum(report.final_link_util_max, 3)]);
-    t.row(["max switch utilization".to_string(), fnum(report.final_switch_util_max, 3)]);
-    t.row(["max pod utilization".to_string(), fnum(report.final_pod_util_max, 3)]);
+    t.row([
+        "served fraction (final)".to_string(),
+        fnum(report.final_served_fraction, 4),
+    ]);
+    t.row([
+        "served fraction (mean)".to_string(),
+        fnum(report.mean_served_fraction, 4),
+    ]);
+    t.row([
+        "max link utilization".to_string(),
+        fnum(report.final_link_util_max, 3),
+    ]);
+    t.row([
+        "max switch utilization".to_string(),
+        fnum(report.final_switch_util_max, 3),
+    ]);
+    t.row([
+        "max pod utilization".to_string(),
+        fnum(report.final_pod_util_max, 3),
+    ]);
     let c = platform.global.counters;
-    t.row(["DNS exposure updates".to_string(), c.exposure_updates.to_string()]);
-    t.row(["VIP transfers completed".to_string(), c.vip_transfers_completed.to_string()]);
-    t.row(["instances started".to_string(), platform.metrics.instance_starts.get().to_string()]);
-    t.row(["slice adjustments".to_string(), platform.metrics.slice_adjustments.get().to_string()]);
-    t.row(["route updates sent".to_string(), platform.state.routes.updates_sent().to_string()]);
+    t.row([
+        "DNS exposure updates".to_string(),
+        c.exposure_updates.to_string(),
+    ]);
+    t.row([
+        "VIP transfers completed".to_string(),
+        c.vip_transfers_completed.to_string(),
+    ]);
+    t.row([
+        "instances started".to_string(),
+        platform.metrics.instance_starts.get().to_string(),
+    ]);
+    t.row([
+        "slice adjustments".to_string(),
+        platform.metrics.slice_adjustments.get().to_string(),
+    ]);
+    t.row([
+        "route updates sent".to_string(),
+        platform.state.routes.updates_sent().to_string(),
+    ]);
     println!("\n{}", t.render());
 
     if let Some(summary) = platform.metrics.decision_times.summary() {

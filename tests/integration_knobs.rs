@@ -105,7 +105,10 @@ fn fast_knobs_act_before_slow_ones() {
     // Step a couple of epochs under moderate load.
     platform.run_epochs(3);
     let slices_early = platform.metrics.slice_adjustments.get();
-    assert!(slices_early > 0, "slice adjustment (the fastest knob) never fired");
+    assert!(
+        slices_early > 0,
+        "slice adjustment (the fastest knob) never fired"
+    );
 }
 
 /// §IV.C: elephant pods shed servers (with instances) until every pod is
@@ -142,7 +145,12 @@ fn viprip_queue_survives_request_storm() {
             1 => Priority::Normal,
             _ => Priority::Low,
         };
-        platform.global.viprip.submit(prio, Request::NewVip { app: megadc::AppId(a) });
+        platform.global.viprip.submit(
+            prio,
+            Request::NewVip {
+                app: megadc::AppId(a),
+            },
+        );
     }
     platform.step();
     assert_eq!(platform.global.viprip.pending(), 0, "queue fully drained");

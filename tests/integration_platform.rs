@@ -51,7 +51,10 @@ fn popular_apps_get_more_vips_and_instances_spread_pods() {
     let by_pop = platform.workload.apps_by_popularity();
     let top = platform.state.app(AppId(by_pop[0])).unwrap();
     let bottom = platform.state.app(AppId(*by_pop.last().unwrap())).unwrap();
-    assert!(top.vips.len() > bottom.vips.len(), "popular app should hold more VIPs");
+    assert!(
+        top.vips.len() > bottom.vips.len(),
+        "popular app should hold more VIPs"
+    );
     // Instances land in more than one pod overall.
     let pods_used: std::collections::BTreeSet<_> = (0..platform.state.num_pods())
         .filter(|&p| platform.state.pod_vm_count(megadc::PodId(p as u32)) > 0)
@@ -68,7 +71,11 @@ fn diurnal_cycle_keeps_platform_stable() {
     let mut platform = Platform::build(config).expect("build");
     // Two full compressed days.
     let report = platform.run_epochs(240);
-    assert!(report.mean_served_fraction > 0.8, "mean served {}", report.mean_served_fraction);
+    assert!(
+        report.mean_served_fraction > 0.8,
+        "mean served {}",
+        report.mean_served_fraction
+    );
     platform.state.assert_invariants();
     // Elasticity: the platform actually resized things over the cycle.
     assert!(

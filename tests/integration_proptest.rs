@@ -26,8 +26,13 @@ enum Op {
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<u16>(), any::<u16>()).prop_map(|(app, switch)| Op::AllocVip { app, switch }),
-        (any::<u16>(), any::<u16>(), any::<u8>())
-            .prop_map(|(app, server, weight)| Op::AddInstance { app, server, weight }),
+        (any::<u16>(), any::<u16>(), any::<u8>()).prop_map(|(app, server, weight)| {
+            Op::AddInstance {
+                app,
+                server,
+                weight,
+            }
+        }),
         any::<u16>().prop_map(|nth_vm| Op::RemoveInstance { nth_vm }),
         (any::<u16>(), any::<u16>()).prop_map(|(nth_vip, to)| Op::TransferVip { nth_vip, to }),
         (any::<u16>(), any::<u16>()).prop_map(|(server, pod)| Op::MoveServer { server, pod }),
@@ -47,7 +52,11 @@ fn apply(st: &mut PlatformState, op: &Op) {
             let sw = SwitchId(switch as u32 % num_switches);
             let _ = st.allocate_vip(app, sw); // may fail (limits): fine
         }
-        Op::AddInstance { app, server, weight } => {
+        Op::AddInstance {
+            app,
+            server,
+            weight,
+        } => {
             let app = AppId(app as u32 % num_apps);
             let server = ServerId(server as u32 % num_servers);
             if !st.server_healthy(server) {

@@ -26,7 +26,10 @@ fn sized_fabric_holds_the_vip_population() {
     let total_rips: usize = platform.state.switches.iter().map(|s| s.rip_count()).sum();
     // Every app got at least vips_per_app VIPs; every instance has a RIP.
     assert!(total_vips >= config.num_apps * config.vips_per_app);
-    assert_eq!(total_rips, config.num_apps * config.initial_instances_per_app);
+    assert_eq!(
+        total_rips,
+        config.num_apps * config.initial_instances_per_app
+    );
     // And no switch is over its table limits.
     for sw in &platform.state.switches {
         assert!(sw.vip_count() <= sw.limits().max_vips);
@@ -34,7 +37,12 @@ fn sized_fabric_holds_the_vip_population() {
     }
     // The §III.C policy keeps tables balanced: max/min VIP count within
     // a factor of ~2 across switches.
-    let counts: Vec<usize> = platform.state.switches.iter().map(|s| s.vip_count()).collect();
+    let counts: Vec<usize> = platform
+        .state
+        .switches
+        .iter()
+        .map(|s| s.vip_count())
+        .collect();
     let max = *counts.iter().max().unwrap();
     let min = *counts.iter().min().unwrap();
     assert!(max <= 2 * min.max(1), "unbalanced VIP tables: {counts:?}");
@@ -81,7 +89,11 @@ fn larger_build_is_deterministic() {
         config.seed = 5;
         let mut p = Platform::build(config).expect("build");
         let r = p.run_epochs(15);
-        (r.final_served_fraction, r.final_link_util_max, p.state.num_rips())
+        (
+            r.final_served_fraction,
+            r.final_link_util_max,
+            p.state.num_rips(),
+        )
     };
     assert_eq!(run(), run());
 }

@@ -1,0 +1,88 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points the
+//! workspace uses (`par_iter`, `into_par_iter`) evaluated **sequentially**.
+//!
+//! The build environment cannot fetch the real `rayon`. Because the
+//! adapters return ordinary [`std::iter::Iterator`]s, every downstream
+//! combinator (`map`, `collect`, …) works unchanged; only the actual
+//! parallelism is lost, which affects wall-clock time, never results —
+//! the workspace's pod managers are deterministic and order-independent
+//! by construction.
+
+#![warn(missing_docs)]
+
+/// The rayon prelude: parallel-iterator conversion traits.
+pub mod prelude {
+    /// Consuming conversion: `into_par_iter()` (sequential here).
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert into a "parallel" (here: sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing conversion: `par_iter()` (sequential here).
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type (a reference).
+        type Item;
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate by reference, "in parallel" (here: sequentially).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mutable borrowing conversion: `par_iter_mut()` (sequential here).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Element type (a mutable reference).
+        type Item;
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate by mutable reference, sequentially.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..5).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(sum, 30);
+    }
+}

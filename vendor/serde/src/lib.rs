@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io; the workspace uses
+//! serde only as `#[derive(Serialize, Deserialize)]` annotations with no
+//! actual (de)serialization code paths, so this crate simply re-exports
+//! no-op derive macros under the expected names.
+
+pub use serde_derive::{Deserialize, Serialize};

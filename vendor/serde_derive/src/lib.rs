@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only uses serde derives as annotations (no code path
+//! serializes anything), and the build environment cannot fetch the real
+//! `serde_derive`. These derives expand to nothing, which is sufficient
+//! because no generic bound in the workspace requires the trait impls.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (the workspace never serializes). Declares the
+/// `#[serde(...)]` helper attribute so field annotations parse.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (the workspace never deserializes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
