@@ -16,8 +16,9 @@ pub mod e13_failures;
 pub mod e14_energy;
 pub mod e15_session_quiescence;
 pub mod e16_proactive_elasticity;
+pub mod e17_misrouting_equilibrium;
 
-/// Run one experiment by id (`"e1"` … `"e14"`), returning its rendered
+/// Run one experiment by id (`"e1"` … `"e17"`), returning its rendered
 /// report. `quick` shrinks sweeps for CI.
 pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
     Some(match id {
@@ -37,6 +38,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
         "e14" => e14_energy::run(quick),
         "e15" => e15_session_quiescence::run(quick),
         "e16" => e16_proactive_elasticity::run(quick),
+        "e17" => e17_misrouting_equilibrium::run(quick),
         _ => return None,
     })
 }

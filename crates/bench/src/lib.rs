@@ -1,6 +1,6 @@
 //! # megadc-bench — the experiment harness
 //!
-//! One module per experiment in DESIGN.md's index (E1–E12). Each
+//! One module per experiment in DESIGN.md's index (E1–E17). Each
 //! experiment regenerates the corresponding table from the paper's
 //! analysis (or from the evaluation the paper promises as ongoing work)
 //! and returns it as rendered text; the `expt` binary prints it.
@@ -11,7 +11,7 @@
 //! cargo run --release -p megadc-bench --bin expt -- all
 //! ```
 //!
-//! or a single experiment (`e1` … `e14`). Pass `--quick` for smaller
+//! or a single experiment (`e1` … `e17`). Pass `--quick` for smaller
 //! sweeps (used in CI).
 
 pub mod experiments;
@@ -19,7 +19,7 @@ pub mod experiments;
 pub use experiments::run_experiment;
 
 /// The experiment ids, in order.
-pub const EXPERIMENTS: [&str; 16] = [
+pub const EXPERIMENTS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];

@@ -36,6 +36,12 @@ pub struct KnobFlags {
     pub pod_slices: bool,
     /// Pod-manager instance starts/stops (§IV.D, in-pod side).
     pub pod_instances: bool,
+    /// Misrouting-equilibrium escape: when a VIP's served/offered ratio
+    /// stays below `vip_starvation_ratio` for `vip_starvation_epochs`
+    /// while the app has spare capacity elsewhere, force a corrective
+    /// water-filling reweight + exposure refresh even though no pod is
+    /// nominally overloaded (the E17 fix).
+    pub misrouting_escape: bool,
 }
 
 impl KnobFlags {
@@ -50,6 +56,7 @@ impl KnobFlags {
         elephant_relief: true,
         pod_slices: true,
         pod_instances: true,
+        misrouting_escape: true,
     };
 
     /// Everything off (static provisioning baseline).
@@ -63,6 +70,7 @@ impl KnobFlags {
         elephant_relief: false,
         pod_slices: false,
         pod_instances: false,
+        misrouting_escape: false,
     };
 }
 
@@ -163,6 +171,15 @@ pub struct PlatformConfig {
     /// A VIP is considered quiescent (transferable) when its residual
     /// demand share falls below this fraction (§IV.B drain gate).
     pub quiescence_share: f64,
+    /// A VIP is *starved* when its served/offered ratio is below this;
+    /// sustained starvation with spare capacity elsewhere triggers the
+    /// misrouting escape (`KnobFlags::misrouting_escape`).
+    pub vip_starvation_ratio: f64,
+    /// Consecutive starved epochs before the escape fires.
+    pub vip_starvation_epochs: u32,
+    /// Water-filling reweight step in `(0, 1]`: the fraction of the gap
+    /// to the headroom-proportional target closed per actuation.
+    pub reweight_step: f64,
     /// Knob ablation switches (default: all on).
     pub knobs: KnobFlags,
     /// Proactive elasticity control plane (forecasting + predictive
@@ -212,6 +229,9 @@ impl PlatformConfig {
             pod_underload_threshold: 0.40,
             headroom: 1.2,
             quiescence_share: 0.02,
+            vip_starvation_ratio: 0.999,
+            vip_starvation_epochs: 5,
+            reweight_step: 0.5,
             knobs: KnobFlags::ALL,
             elastic: ElasticConfig::default(),
         }
@@ -330,6 +350,15 @@ impl PlatformConfig {
         {
             return Err("vm_max_cpu_slice must be in [vm_cpu_slice, server cpu]".into());
         }
+        if !(self.vip_starvation_ratio > 0.0 && self.vip_starvation_ratio <= 1.0) {
+            return Err("vip_starvation_ratio must be in (0, 1]".into());
+        }
+        if self.vip_starvation_epochs == 0 {
+            return Err("vip_starvation_epochs must be positive".into());
+        }
+        if !(self.reweight_step > 0.0 && self.reweight_step <= 1.0) {
+            return Err("reweight_step must be in (0, 1]".into());
+        }
         self.switch_limits.validate();
         self.dns.validate();
         self.cost_model.validate();
@@ -398,6 +427,18 @@ mod tests {
 
         let mut cfg = PlatformConfig::small_test();
         cfg.pod_underload_threshold = 0.9;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PlatformConfig::small_test();
+        cfg.vip_starvation_ratio = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PlatformConfig::small_test();
+        cfg.vip_starvation_epochs = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PlatformConfig::small_test();
+        cfg.reweight_step = 1.5;
         assert!(cfg.validate().is_err());
     }
 

@@ -37,6 +37,11 @@ pub struct LoadSnapshot {
     pub app_demand_bps: Vec<f64>,
     /// Demand arriving at each VIP (bits/s).
     pub vip_demand_bps: BTreeMap<VipAddr, f64>,
+    /// Demand actually served through each VIP (bits/s) after switch
+    /// overflow, dead/booting RIPs and VM slice saturation. The
+    /// served/offered ratio per VIP is the misrouting-equilibrium signal
+    /// (a starved VIP can hide inside a healthy-looking app aggregate).
+    pub vip_served_bps: BTreeMap<VipAddr, f64>,
     /// Load on each access link (bits/s), indexed by link id.
     pub link_load_bps: Vec<f64>,
     /// Offered load at each LB switch (bits/s), indexed by switch id.
@@ -227,6 +232,8 @@ pub fn propagate(state: &mut PlatformState, app_demand_bps: &[f64], now: SimTime
                 let lost_rps = (cpu - served_cpu) / profile.cpu_per_req;
                 snap.unserved_bps_by_app[app_idx] += profile.bandwidth_bps(lost_rps);
             }
+            let served_rps = served_cpu / profile.cpu_per_req;
+            *snap.vip_served_bps.entry(vip).or_insert(0.0) += profile.bandwidth_bps(served_rps);
             *snap.vm_cpu_offered.entry(vm_id).or_insert(0.0) += cpu;
             *snap.vm_cpu_served.entry(vm_id).or_insert(0.0) += served_cpu;
             let srv = state.fleet.locate(vm_id).expect("live VM");

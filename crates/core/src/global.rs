@@ -13,12 +13,24 @@
 //! 2. **Dynamic VIP transfer** (§IV.B) — drains the hottest VIPs of
 //!    overloaded switches via DNS, then moves each VIP to an underloaded
 //!    switch once its residual demand passes the quiescence gate.
-//! 3. **Pod balancing** — the relief ladder for overloaded pods:
-//!    inter-pod **RIP weight adjustment** (§IV.F, fast), **dynamic
-//!    application deployment** into underloaded pods (§IV.D, cloning with
-//!    latency), and **server transfer** from donor pods (§IV.C).
-//! 4. **Elephant-pod avoidance** (§IV.C/D) — pods that exceed the size
+//! 3. **Misrouting-equilibrium escape** — breaks the E17 failure mode:
+//!    VIPs that stay starved (served/offered below threshold) for K
+//!    epochs while the app has spare capacity get a forced water-filling
+//!    reweight + exposure refresh, even with no pod nominally overloaded.
+//! 4. **Pod balancing** — the relief ladder for overloaded pods:
+//!    inter-pod **RIP weight adjustment** (§IV.F, water-filled across all
+//!    covered pods toward predicted-headroom-proportional targets),
+//!    **dynamic application deployment** into underloaded pods (§IV.D,
+//!    cloning with latency), and **server transfer** from donor pods
+//!    (§IV.C).
+//! 5. **Elephant-pod avoidance** (§IV.C/D) — pods that exceed the size
 //!    caps shed servers (with their instances) to the smallest pod.
+//!
+//! The manager also runs infrastructure-level forecasters (per-pod
+//! utilization, per-access-link demand — [`elastic::GroupForecaster`])
+//! every epoch, reactive mode included: observation actuates nothing, but
+//! the reweight and link-exposure knobs aim at *predicted* rather than
+//! observed hotspots when history exists.
 //!
 //! Every actuation is counted in [`KnobCounters`], which is what the
 //! experiments report.
@@ -28,8 +40,9 @@ use crate::ids::{AppId, PodId};
 use crate::state::PlatformState;
 use crate::viprip::{Priority, Request, VipRipManager};
 use dcsim::SimTime;
+use elastic::{headroom_pressure, waterfill_weights, GroupForecaster};
 use lbswitch::{SwitchId, VipAddr};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use vmm::{ServerId, VmId, VmState};
 
 /// Actuation counters for every knob (experiment output).
@@ -55,6 +68,10 @@ pub struct KnobCounters {
     pub server_transfers: u64,
     /// Servers moved out of elephant pods (with their instances).
     pub elephant_evictions: u64,
+    /// Misrouting-equilibrium escapes: corrective water-filling reweights
+    /// and exposure refreshes forced for sustainedly starved VIPs even
+    /// though no pod was nominally overloaded (the E17 fix).
+    pub misrouting_escapes: u64,
 }
 
 /// An in-flight VIP drain (§IV.B step 1).
@@ -80,6 +97,21 @@ pub struct GlobalManager {
     pub counters: KnobCounters,
     draining: BTreeMap<VipAddr, Drain>,
     pending_deployments: Vec<PendingDeployment>,
+    /// Infrastructure-level forecasters (always on, reactive mode
+    /// included — forecasting alone actuates nothing): per-pod CPU
+    /// utilization and per-access-link demand. Lazily built on the first
+    /// epoch from `config.elastic.forecast` (valid even when the
+    /// proactive plane is disabled).
+    pod_forecast: Option<GroupForecaster>,
+    link_forecast: Option<GroupForecaster>,
+    /// Consecutive epochs each VIP has served less than
+    /// `vip_starvation_ratio` of its offered demand.
+    starved_epochs: BTreeMap<VipAddr, u32>,
+    /// VMs queued for retirement this epoch. Exposure and reweight
+    /// decisions must not count their RIPs as serving capacity: a retire
+    /// racing a VIP transfer in the same epoch would otherwise route
+    /// restored demand onto a RIP already queued for removal.
+    pending_retires: BTreeSet<VmId>,
     /// Caps per epoch, to keep the control loop stable.
     max_transfers_per_epoch: usize,
     max_deployments_per_epoch: usize,
@@ -117,6 +149,7 @@ impl GlobalManager {
     /// fleet through `state`; pod-level provisioning is the pod managers'
     /// job and happens separately.
     pub fn epoch(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+        self.observe_forecasts(state, snap);
         let knobs = state.config.knobs;
         if knobs.capacity_exposure {
             self.refresh_capacity_exposure(state, snap, now);
@@ -127,12 +160,87 @@ impl GlobalManager {
         if knobs.vip_transfer {
             self.balance_switches(state, snap, now);
         }
+        if knobs.misrouting_escape {
+            self.escape_misrouting(state, snap, now);
+        }
         self.complete_deployments(state);
         self.balance_pods(state, snap, now);
         if knobs.elephant_relief {
             self.avoid_elephants(state);
         }
         self.viprip.process_all(state);
+        // The queued retires have been executed (or rejected); the epoch's
+        // exposure decisions no longer need to mask them.
+        self.pending_retires.clear();
+    }
+
+    // ---- infrastructure forecasting (pods + access links) ------------------
+
+    /// Feed this epoch's pod utilizations and link demands into the
+    /// infrastructure forecasters. Observation only — no actuation.
+    fn observe_forecasts(&mut self, state: &PlatformState, snap: &LoadSnapshot) {
+        let fcfg = state.config.elastic.forecast;
+        let pod_utils = snap.pod_utilizations(state);
+        self.pod_forecast
+            .get_or_insert_with(|| GroupForecaster::new(fcfg, pod_utils.len()))
+            .observe(&pod_utils);
+        self.link_forecast
+            .get_or_insert_with(|| GroupForecaster::new(fcfg, snap.link_load_bps.len()))
+            .observe(&snap.link_load_bps);
+    }
+
+    /// Predicted CPU utilization per pod, `horizon` epochs ahead (`None`
+    /// before the first epoch).
+    pub fn predicted_pod_utils(&self, horizon: u32) -> Option<Vec<f64>> {
+        self.pod_forecast.as_ref().map(|f| f.predict(horizon))
+    }
+
+    /// Predicted demand per access link (bits/s), `horizon` epochs ahead.
+    pub fn predicted_link_demand_bps(&self, horizon: u32) -> Option<Vec<f64>> {
+        self.link_forecast.as_ref().map(|f| f.predict(horizon))
+    }
+
+    // ---- serialized retirement (retire × transfer race) --------------------
+
+    /// Queue a VM's instance for retirement through the serialized VIP/RIP
+    /// queue, registering it in `pending_retires` so every exposure and
+    /// reweight decision made later this epoch sees the RIP as already
+    /// gone. Refuses (returns `false`) when the VM backs its VIP's last
+    /// live RIP — DNS keeps routing demand at an exposed VIP, so draining
+    /// its last RIP would black-hole that demand.
+    pub fn queue_retire(&mut self, state: &PlatformState, vm: VmId) -> bool {
+        let Some(rip) = state.rip_of_vm(vm) else {
+            return false;
+        };
+        let Ok(rec) = state.rip(rip) else {
+            return false;
+        };
+        if self.pending_retires.contains(&vm) {
+            return false; // already queued this epoch
+        }
+        if self.live_rip_count(state, rec.vip) <= 1 {
+            return false;
+        }
+        self.pending_retires.insert(vm);
+        self.viprip.submit(Priority::Low, Request::DeleteRip { vm });
+        true
+    }
+
+    /// RIPs of a VIP whose VMs are not queued for retirement this epoch.
+    fn live_rip_count(&self, state: &PlatformState, vip: VipAddr) -> usize {
+        let Ok(rec) = state.vip(vip) else { return 0 };
+        let Ok(cfg) = state.switches[rec.switch.0 as usize].vip(vip) else {
+            return 0;
+        };
+        cfg.rips
+            .iter()
+            .filter(|e| {
+                state
+                    .rip(e.rip)
+                    .map(|rr| !self.pending_retires.contains(&rr.vm))
+                    .unwrap_or(false)
+            })
+            .count()
     }
 
     /// Capacity-proportional exposure (§IV.B's second use of selective VIP
@@ -171,18 +279,38 @@ impl GlobalManager {
                 .iter()
                 .map(|&v| (v, self.capacity_weight(state, v)))
                 .collect();
-            if weights.iter().filter(|&&(_, w)| w > 0.0).count() < 2 {
-                continue; // nothing to rebalance between
+            let covered: Vec<VipAddr> = weights
+                .iter()
+                .filter(|&&(_, w)| w > 0.0)
+                .map(|&(v, _)| v)
+                .collect();
+            if covered.is_empty() {
+                continue; // nothing can serve; exposure changes won't help
+            }
+            if covered.len() < 2 {
+                // Only one VIP has capacity. There is nothing to balance,
+                // but previously-set DNS weights may still route demand to
+                // the drained VIPs — reset exposure to the survivor (once;
+                // skip when DNS already matches, to avoid churning
+                // reconfigurations every epoch).
+                let published = state.dns.published_shares(app.dns_key());
+                let already = published.len() == 1 && published[0].0 == covered[0];
+                if !already {
+                    state.dns.set_exposure(app.dns_key(), weights, now);
+                    self.counters.exposure_updates += 1;
+                }
+                continue;
             }
             state.dns.set_exposure(app.dns_key(), weights, now);
             self.counters.exposure_updates += 1;
         }
     }
 
-    /// Exposure weight of one VIP: its RIP count (serving capacity)
-    /// discounted by how loaded its switch is.
+    /// Exposure weight of one VIP: its RIP count (serving capacity,
+    /// excluding RIPs queued for retirement this epoch) discounted by how
+    /// loaded its switch is.
     fn capacity_weight(&self, state: &PlatformState, vip: VipAddr) -> f64 {
-        let rips = state.vip_rip_count(vip);
+        let rips = self.live_rip_count(state, vip);
         if rips == 0 {
             return 0.0;
         }
@@ -198,7 +326,19 @@ impl GlobalManager {
         snap: &LoadSnapshot,
         now: SimTime,
     ) {
-        let utils = snap.link_utilizations(state);
+        // Blend the observed utilization with the forecast one epoch out
+        // (elementwise max): a link predicted to overload is treated as
+        // hot already, so exposure shifts pre-position before the demand
+        // arrives instead of reacting one epoch late.
+        let mut utils = snap.link_utilizations(state);
+        if let Some(pred_demand) = self.predicted_link_demand_bps(1) {
+            for (u, p) in utils
+                .iter_mut()
+                .zip(state.access.utilizations(&pred_demand))
+            {
+                *u = u.max(p);
+            }
+        }
         let threshold = state.config.link_overload_threshold;
         let Some((hot_link, &hot_util)) = utils
             .iter()
@@ -427,14 +567,189 @@ impl GlobalManager {
     }
 
     fn restore_exposure(&mut self, state: &mut PlatformState, app: AppId, now: SimTime) {
+        // `live_rip_count`, not `vip_rip_count`: a VIP whose only RIPs
+        // were queued for retirement earlier this epoch must not be
+        // re-exposed — the restored demand would land on a RIP that the
+        // serialized queue deletes moments later (the retire × transfer
+        // race).
         let weights: Vec<(VipAddr, f64)> = state
             .app(app)
             .expect("listed")
             .vips
             .iter()
-            .map(|&v| (v, if state.vip_rip_count(v) > 0 { 1.0 } else { 0.0 }))
+            .map(|&v| {
+                (
+                    v,
+                    if self.live_rip_count(state, v) > 0 {
+                        1.0
+                    } else {
+                        0.0
+                    },
+                )
+            })
             .collect();
         state.dns.set_exposure(app.dns_key(), weights, now);
+    }
+
+    // ---- misrouting-equilibrium escape (E17) -------------------------------
+
+    /// Detect and break VIP-level misrouting equilibria.
+    ///
+    /// E16's reactive hold phase exposed a stable failure mode: a VIP's
+    /// weight/slice misalignment leaves one RIP saturated while sibling
+    /// RIPs idle, yet *no* trigger fires — per-app unserved stays under
+    /// the exposure threshold, pods and switches are far from overload,
+    /// and the §IV.F pod-total-preserving weight adjustment cannot move
+    /// weight for a pod with a single RIP under the VIP. The platform
+    /// then serves ~98.4% forever.
+    ///
+    /// The escape: when a VIP's served/offered ratio stays below
+    /// `vip_starvation_ratio` for `vip_starvation_epochs` consecutive
+    /// epochs *and* the app has spare serving capacity overall, force a
+    /// corrective water-filling reweight across the app's VIPs plus an
+    /// unconditional capacity-proportional exposure refresh — even though
+    /// no pod is nominally overloaded.
+    fn escape_misrouting(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+        let cfg = state.config;
+        // Update starvation streaks from this epoch's snapshot.
+        let mut triggered: Vec<VipAddr> = Vec::new();
+        for (&vip, &offered) in &snap.vip_demand_bps {
+            if offered <= 0.0 {
+                continue;
+            }
+            let served = snap.vip_served_bps.get(&vip).copied().unwrap_or(0.0);
+            if served / offered < cfg.vip_starvation_ratio {
+                let streak = self.starved_epochs.entry(vip).or_insert(0);
+                *streak += 1;
+                if *streak >= cfg.vip_starvation_epochs {
+                    triggered.push(vip);
+                }
+            } else {
+                self.starved_epochs.remove(&vip);
+            }
+        }
+        // VIPs with no demand this epoch are not starved, just idle.
+        self.starved_epochs
+            .retain(|v, _| snap.vip_demand_bps.contains_key(v));
+
+        let pod_utils = self
+            .predicted_pod_utils(1)
+            .unwrap_or_else(|| snap.pod_utilizations(state));
+        let profile = cfg.request_profile;
+        for vip in triggered {
+            let Ok(rec) = state.vip(vip) else {
+                continue;
+            };
+            let app = rec.app;
+            if self.app_is_draining(state, app) {
+                continue; // the drain owns this app's weights and exposure
+            }
+            // Spare-capacity gate: corrective rerouting only helps when
+            // the app's serving slices could absorb its whole demand —
+            // otherwise this is genuine under-provisioning and the
+            // deploy/slice knobs are the right tool.
+            let vips = state.app(app).expect("listed").vips.clone();
+            let demand_cpu =
+                profile.cpu_demand(profile.rps_for_bandwidth(snap.app_demand_bps[app.0 as usize]));
+            let capacity_cpu: f64 = vips
+                .iter()
+                .flat_map(|&v| state.vip_serving_entries(v))
+                .filter(|(vm, ..)| !self.pending_retires.contains(vm))
+                .map(|(_, _, _, slice)| slice)
+                .sum();
+            if capacity_cpu <= demand_cpu {
+                continue;
+            }
+            // Corrective actions: water-fill every covered VIP of the app
+            // toward slice × predicted-headroom, then refresh exposure
+            // capacity-proportionally (no unserved-fraction gate).
+            let mut acted = false;
+            for &v in &vips {
+                if self.waterfill_vip(state, v, &pod_utils, cfg.reweight_step) {
+                    acted = true;
+                }
+            }
+            let weights: Vec<(VipAddr, f64)> = vips
+                .iter()
+                .map(|&v| (v, self.capacity_weight(state, v)))
+                .collect();
+            if weights.iter().any(|&(_, w)| w > 0.0) {
+                state.dns.set_exposure(app.dns_key(), weights, now);
+                self.counters.exposure_updates += 1;
+                acted = true;
+            }
+            if acted {
+                self.counters.misrouting_escapes += 1;
+                // The streak is NOT reset here: while the VIP stays below
+                // the starvation ratio the escape keeps stepping every
+                // epoch, so the water-fill converges geometrically to its
+                // fixed point. Recovery above the ratio clears the streak
+                // (the `else` branch above), which is the natural
+                // hysteresis that stops the correction.
+            }
+        }
+    }
+
+    /// Water-fill one VIP's RIP weights: step them toward targets
+    /// proportional to `slice × predicted pod headroom`, conserving the
+    /// total weight exactly (the absolute-weight invariant encodes the
+    /// app's inter-pod traffic split; see `elastic::waterfill_weights`).
+    /// Returns whether any weight changed materially.
+    fn waterfill_vip(
+        &mut self,
+        state: &PlatformState,
+        vip: VipAddr,
+        pod_utils: &[f64],
+        step: f64,
+    ) -> bool {
+        let entries: Vec<_> = state
+            .vip_serving_entries(vip)
+            .into_iter()
+            .filter(|(vm, ..)| !self.pending_retires.contains(vm))
+            .collect();
+        if entries.len() < 2 {
+            return false; // nothing to shift between
+        }
+        let current: Vec<f64> = entries.iter().map(|&(_, _, w, _)| w).collect();
+        let capacity: Vec<f64> = entries.iter().map(|&(_, _, _, slice)| slice).collect();
+        let utils: Vec<f64> = entries
+            .iter()
+            .map(|&(_, pod, _, _)| pod_utils.get(pod.index()).copied().unwrap_or(0.0))
+            .collect();
+        let pressure = headroom_pressure(&capacity, &utils);
+        let target = waterfill_weights(&current, &pressure, step);
+        let mut touched = false;
+        for (&(vm, _, w, _), &nw) in entries.iter().zip(&target) {
+            let nw = nw.max(0.01);
+            if (nw - w).abs() > 1e-6 * w.abs().max(1.0) {
+                self.viprip
+                    .submit(Priority::High, Request::SetWeight { vm, weight: nw });
+                touched = true;
+            }
+        }
+        touched
+    }
+
+    /// Water-fill every covered VIP of an app (the proactive `Reweight`
+    /// actuation). Returns whether any weight changed.
+    pub fn waterfill_app(
+        &mut self,
+        state: &PlatformState,
+        app: AppId,
+        pod_utils: &[f64],
+        step: f64,
+    ) -> bool {
+        let Ok(rec) = state.app(app) else {
+            return false;
+        };
+        let vips = rec.vips.clone();
+        let mut touched = false;
+        for vip in vips {
+            if self.waterfill_vip(state, vip, pod_utils, step) {
+                touched = true;
+            }
+        }
+        touched
     }
 
     // ---- knob 3: pod balancing (§IV.C/D/F) ---------------------------------
@@ -461,13 +776,19 @@ impl GlobalManager {
             return; // nowhere to shed load to
         }
 
+        // The reweight law aims at *predicted* utilization when the
+        // forecasters have data (pre-positioning, §IV.B), observed
+        // otherwise.
+        let pod_utils = self.predicted_pod_utils(1).unwrap_or_else(|| utils.clone());
         let knobs = cfg.knobs;
         for hot in hot_pods {
             let hot_pod = PodId(hot as u32);
             // Rung 1: inter-pod RIP weight adjustment for VIPs covering
-            // both a hot and a colder pod (§IV.F — agile, seconds).
+            // the hot pod (§IV.F — agile, seconds): water-fill weights
+            // across *all* covered pods toward headroom-proportional
+            // targets, not just a hottest→coldest pair.
             if knobs.interpod_weights {
-                self.shift_weights_between_pods(state, snap, hot_pod, PodId(cold_pod as u32));
+                self.shift_weights_from_pod(state, snap, hot_pod, &pod_utils);
             }
             // Rung 2: deploy instances of the pod's hottest apps into the
             // cold pod (§IV.D).
@@ -481,48 +802,27 @@ impl GlobalManager {
         }
     }
 
-    fn shift_weights_between_pods(
+    /// Rung 1 of pod relief: for every VIP with demand that covers the
+    /// hot pod and at least one other pod, water-fill its RIP weights
+    /// toward `slice × predicted headroom` across all covered pods.
+    /// Unlike the old hottest→coldest ×0.7/×1.3 pair, the law has a fixed
+    /// point (the headroom-proportional split), so repeated application
+    /// converges instead of overshooting into the cold pod.
+    fn shift_weights_from_pod(
         &mut self,
-        state: &mut PlatformState,
+        state: &PlatformState,
         snap: &LoadSnapshot,
         hot: PodId,
-        cold: PodId,
+        pod_utils: &[f64],
     ) {
-        // VIPs with demand covering both pods.
+        let step = state.config.reweight_step;
         let vips: Vec<VipAddr> = snap.vip_demand_bps.keys().copied().collect();
         for vip in vips {
             let pods = state.pods_covered_by_vip(vip);
-            if !(pods.contains(&hot) && pods.contains(&cold)) {
+            if !pods.contains(&hot) || pods.len() < 2 {
                 continue;
             }
-            let rec = *state.vip(vip).expect("listed");
-            let cfg = state.switches[rec.switch.0 as usize]
-                .vip(vip)
-                .expect("configured")
-                .clone();
-            for entry in cfg.rips {
-                let Ok(rip_rec) = state.rip(entry.rip) else {
-                    continue;
-                };
-                let vm = rip_rec.vm;
-                let Ok(srv) = state.fleet.locate(vm) else {
-                    continue;
-                };
-                let pod = state.pod_of(srv);
-                let factor = if pod == hot {
-                    0.7
-                } else if pod == cold {
-                    1.3
-                } else {
-                    continue;
-                };
-                self.viprip.submit(
-                    Priority::High,
-                    Request::SetWeight {
-                        vm,
-                        weight: (entry.weight * factor).max(0.01),
-                    },
-                );
+            if self.waterfill_vip(state, vip, pod_utils, step) {
                 self.counters.interpod_weight_adjustments += 1;
             }
         }
@@ -853,6 +1153,104 @@ mod tests {
             assert!(gm.counters.deployments_completed > 0, "{:?}", gm.counters);
             assert!(st.num_rips() > 3, "new RIP bound for the deployment");
         }
+        st.assert_invariants();
+    }
+
+    /// Retire × transfer race (satellite fix): a retirement must never
+    /// drain a VIP's last live RIP, and duplicate retires in one epoch
+    /// must be refused.
+    #[test]
+    fn queue_retire_refuses_last_live_rip() {
+        let mut st = build();
+        let mut gm = GlobalManager::new();
+        let vip = st.app(AppId(1)).unwrap().vips[0];
+        let (vm, _, _, _) = st.vip_serving_entries(vip)[0];
+        assert!(
+            !gm.queue_retire(&st, vm),
+            "must refuse to drain a VIP's last live RIP"
+        );
+        // With a second RIP bound, the first can retire — but not both,
+        // and not twice.
+        let (vm2, _) = st
+            .add_instance_running(AppId(1), ServerId(5), vip, 1.0)
+            .unwrap();
+        assert!(gm.queue_retire(&st, vm));
+        assert!(!gm.queue_retire(&st, vm), "duplicate retire same epoch");
+        assert!(
+            !gm.queue_retire(&st, vm2),
+            "the surviving RIP is now the last live one"
+        );
+        st.assert_invariants();
+    }
+
+    /// Retire × transfer race (satellite fix): exposure restored after a
+    /// drain must give zero weight to VIPs with no live (non-pending)
+    /// RIPs, so restored demand cannot land on a RIP queued for deletion.
+    #[test]
+    fn restore_exposure_skips_vips_without_live_rips() {
+        let mut st = build();
+        let mut gm = GlobalManager::new();
+        let now = t0(&st);
+        let vips = st.app(AppId(0)).unwrap().vips.clone();
+        // v01 loses its only instance (server failure): still advertised,
+        // zero RIPs.
+        st.fail_server(ServerId(2));
+        gm.restore_exposure(&mut st, AppId(0), now);
+        assert_eq!(
+            st.dns.published_shares(AppId(0).dns_key()),
+            vec![(vips[0], 1.0)],
+            "exposure restored onto a RIP-less VIP"
+        );
+        // A pending retire on one of v00's two RIPs must not un-expose
+        // v00 — one live RIP remains.
+        let (vm, _) = st
+            .add_instance_running(AppId(0), ServerId(1), vips[0], 1.0)
+            .unwrap();
+        assert!(gm.queue_retire(&st, vm));
+        gm.restore_exposure(&mut st, AppId(0), now);
+        assert_eq!(
+            st.dns.published_shares(AppId(0).dns_key()),
+            vec![(vips[0], 1.0)]
+        );
+        st.assert_invariants();
+    }
+
+    /// Stale-exposure bugfix (satellite fix): when only one VIP of an app
+    /// retains serving capacity, capacity exposure must reset DNS to the
+    /// survivor instead of early-returning and leaving stale weights that
+    /// keep routing demand at the dead VIP — and must not churn
+    /// reconfigurations once DNS already matches.
+    #[test]
+    fn capacity_exposure_resets_to_sole_surviving_vip() {
+        let mut st = build();
+        let now = t0(&st);
+        let vips = st.app(AppId(0)).unwrap().vips.clone();
+        // v01 loses its only instance; DNS still splits app0 across both
+        // VIPs, so roughly half the demand black-holes (> 5% unserved).
+        st.fail_server(ServerId(2));
+        let snap = propagate(&mut st, &[2e9, 0.0], now);
+        let mut gm = GlobalManager::new();
+        gm.epoch(&mut st, &snap, now);
+        assert!(
+            gm.counters.exposure_updates >= 1,
+            "no exposure reset: {:?}",
+            gm.counters
+        );
+        assert_eq!(
+            st.dns.published_shares(AppId(0).dns_key()),
+            vec![(vips[0], 1.0)],
+            "exposure not reset to the surviving VIP"
+        );
+        // Second epoch: DNS already points at the survivor, so the
+        // single-VIP branch must be a no-op (no reconfiguration churn).
+        let before = gm.counters.exposure_updates;
+        let later = now + st.config.dns.ttl * 2;
+        let snap2 = propagate(&mut st, &[2e9, 0.0], later);
+        gm.epoch(&mut st, &snap2, later);
+        assert_eq!(
+            gm.counters.exposure_updates, before,
+            "exposure churned while already pointing at the survivor"
+        );
         st.assert_invariants();
     }
 }

@@ -413,69 +413,23 @@ impl Platform {
     fn apply_proactive(&mut self, action: ProposedAction, pod_utils: &[f64], now: SimTime) {
         let m = &mut self.metrics;
         match action {
-            // §IV.F ahead of time: multiplicatively shift the app's
-            // weights from its hottest toward its coldest pod, exactly
-            // as the global manager does for already-overloaded pods.
-            // Multiplicative factors preserve the weight structure the
-            // pod planners maintain (in-pod proportions and the pod's
-            // total weight both scale together); absolute rewrites from
-            // here would go stale and skew VIP splits for good.
+            // §IV.F ahead of time: water-fill the app's RIP weights
+            // toward slice × predicted-headroom targets across *all*
+            // covered pods (the same law the global manager's pod relief
+            // and misrouting escape use). The law conserves each VIP's
+            // total weight, so the app's inter-pod traffic split encoded
+            // in the absolute weights survives, and its fixed point makes
+            // repeated application convergent rather than oscillatory.
             ProposedAction::Reweight { app } => {
-                let (mut hot, mut cold) = (0usize, 0usize);
-                for (i, &u) in pod_utils.iter().enumerate() {
-                    if u > pod_utils[hot] {
-                        hot = i;
-                    }
-                    if u < pod_utils[cold] {
-                        cold = i;
-                    }
-                }
-                if pod_utils[hot] - pod_utils[cold] < 0.05 {
-                    return; // no meaningful spread to exploit
-                }
-                let (hot, cold) = (PodId(hot as u32), PodId(cold as u32));
-                let vips = self
-                    .state
-                    .app(AppId(app))
-                    .map(|a| a.vips.clone())
-                    .unwrap_or_default();
-                let mut touched = false;
-                for vip in vips {
-                    let pods = self.state.pods_covered_by_vip(vip);
-                    if !(pods.contains(&hot) && pods.contains(&cold)) {
-                        continue;
-                    }
-                    let Ok(rec) = self.state.vip(vip) else {
-                        continue;
-                    };
-                    let cfg = self.state.switches[rec.switch.0 as usize]
-                        .vip(vip)
-                        .expect("configured")
-                        .clone();
-                    for entry in cfg.rips {
-                        let Ok(rip_rec) = self.state.rip(entry.rip) else {
-                            continue;
-                        };
-                        let vm = rip_rec.vm;
-                        let Ok(srv) = self.state.fleet.locate(vm) else {
-                            continue;
-                        };
-                        let factor = match self.state.pod_of(srv) {
-                            p if p == hot => 0.85,
-                            p if p == cold => 1.15,
-                            _ => continue,
-                        };
-                        self.global.viprip.submit(
-                            Priority::High,
-                            Request::SetWeight {
-                                vm,
-                                weight: (entry.weight * factor).max(0.01),
-                            },
-                        );
-                        touched = true;
-                    }
-                }
-                if touched {
+                let utils = self
+                    .global
+                    .predicted_pod_utils(1)
+                    .unwrap_or_else(|| pod_utils.to_vec());
+                let step = self.state.config.reweight_step;
+                if self
+                    .global
+                    .waterfill_app(&self.state, AppId(app), &utils, step)
+                {
                     m.proactive_reweights.incr();
                 }
             }
@@ -540,9 +494,13 @@ impl Platform {
                 }
             }
             // Scale-in: retire the newest serving instances first (they
-            // are the spike surplus), through the same DeleteRip path the
-            // pod managers use. Never drain a VIP's last RIP — DNS keeps
-            // routing demand to the VIP, which would black-hole it.
+            // are the spike surplus), serialized through the global
+            // manager's retire queue. `queue_retire` both refuses to
+            // drain a VIP's last live RIP (DNS keeps routing demand to
+            // the VIP, which would black-hole it) and registers the VM so
+            // exposure decisions later this epoch — a VIP transfer's
+            // restore in particular — don't count the doomed RIP as
+            // serving capacity.
             ProposedAction::Retire { app, instances } => {
                 let mut candidates: Vec<VmId> = self
                     .state
@@ -557,29 +515,15 @@ impl Platform {
                     })
                     .collect();
                 candidates.sort_by_key(|v| std::cmp::Reverse(v.0));
-                let mut pending: std::collections::HashMap<lbswitch::VipAddr, usize> =
-                    std::collections::HashMap::new();
                 let mut remaining = instances as usize;
                 for vm in candidates {
                     if remaining == 0 {
                         break;
                     }
-                    let rip = self.state.rip_of_vm(vm).expect("filtered above");
-                    let Ok(rec) = self.state.rip(rip) else {
-                        continue;
-                    };
-                    let vip = rec.vip;
-                    let left =
-                        self.state.vip_rip_count(vip) - pending.get(&vip).copied().unwrap_or(0);
-                    if left <= 1 {
-                        continue;
+                    if self.global.queue_retire(&self.state, vm) {
+                        m.proactive_retirements.incr();
+                        remaining -= 1;
                     }
-                    *pending.entry(vip).or_insert(0) += 1;
-                    self.global
-                        .viprip
-                        .submit(Priority::Low, Request::DeleteRip { vm });
-                    m.proactive_retirements.incr();
-                    remaining -= 1;
                 }
             }
         }
@@ -636,10 +580,12 @@ impl Platform {
         } else {
             Vec::new()
         } {
-            self.global
-                .viprip
-                .submit(Priority::Low, Request::DeleteRip { vm });
-            m.instance_stops.incr();
+            // Through the serialized retire queue: this both refuses to
+            // drain a VIP's last live RIP and keeps the doomed RIP out of
+            // same-epoch exposure decisions (the retire × transfer race).
+            if self.global.queue_retire(&self.state, vm) {
+                m.instance_stops.incr();
+            }
         }
         for (vip, weights) in plan.weight_requests {
             self.global.viprip.submit(

@@ -386,6 +386,30 @@ impl PlatformState {
             .unwrap_or(0)
     }
 
+    /// The serving RIP entries of a VIP: `(vm, pod, weight, cpu_slice)`
+    /// for every RIP whose backing VM currently serves traffic. This is
+    /// the view the global manager's water-filling reweight operates on.
+    pub fn vip_serving_entries(&self, vip: VipAddr) -> Vec<(VmId, PodId, f64, f64)> {
+        let Ok(rec) = self.vip(vip) else {
+            return Vec::new();
+        };
+        let Ok(cfg) = self.switches[rec.switch.0 as usize].vip(vip) else {
+            return Vec::new();
+        };
+        cfg.rips
+            .iter()
+            .filter_map(|entry| {
+                let rr = self.rips.get(&entry.rip)?;
+                let vm = self.fleet.vm(rr.vm).ok()?;
+                if !vm.state.serves_traffic() {
+                    return None;
+                }
+                let srv = self.fleet.locate(rr.vm).ok()?;
+                Some((rr.vm, self.pod_of(srv), entry.weight, vm.cpu_slice))
+            })
+            .collect()
+    }
+
     // ---- pods -----------------------------------------------------------------
 
     /// Number of pods.

@@ -259,6 +259,67 @@ impl Arbiter {
     }
 }
 
+/// Water-filling weight shift: step the current weight vector toward a
+/// target proportional to `pressure`, conserving the total exactly.
+///
+/// `pressure[i]` is how much of the total weight slot `i` *should* carry
+/// (any non-negative scale; only ratios matter — see
+/// [`headroom_pressure`]). The target for slot `i` is
+/// `total · pressure[i] / Σpressure`, and the result moves each weight a
+/// fraction `step ∈ [0, 1]` of the way there. Unlike repeated
+/// multiplicative hot→cold shifts this law is *self-limiting*: its fixed
+/// point is the target itself, so re-applying it every epoch converges
+/// instead of overshooting and oscillating.
+///
+/// Degenerate inputs (empty, non-positive total, zero pressure
+/// everywhere, mismatched lengths treated as zero-padded) return the
+/// input unchanged.
+pub fn waterfill_weights(current: &[f64], pressure: &[f64], step: f64) -> Vec<f64> {
+    let total: f64 = current.iter().sum();
+    let psum: f64 = pressure.iter().take(current.len()).sum();
+    if current.is_empty() || !total.is_finite() || total <= 0.0 || !psum.is_finite() || psum <= 0.0
+    {
+        return current.to_vec();
+    }
+    let step = step.clamp(0.0, 1.0);
+    let mut out: Vec<f64> = current
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let p = pressure.get(i).copied().unwrap_or(0.0).max(0.0);
+            let target = total * p / psum;
+            w + step * (target - w)
+        })
+        .collect();
+    // Conserve Σ exactly: each step moves Σ by step·(Σtargets − Σ) = 0
+    // analytically, but float error accumulates; renormalize.
+    let new_total: f64 = out.iter().sum();
+    if new_total > 0.0 {
+        let scale = total / new_total;
+        for w in &mut out {
+            *w *= scale;
+        }
+    }
+    out
+}
+
+/// Headroom pressure: how much weight each slot should attract, given
+/// its serving capacity and its (predicted) utilization. A slot's
+/// pressure is its capacity discounted by how busy it is expected to be,
+/// floored at 5% so a momentarily-hot slot is never fully abandoned
+/// (mirroring the reactive exposure floor).
+pub fn headroom_pressure(capacity: &[f64], predicted_util: &[f64]) -> Vec<f64> {
+    capacity
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let u = predicted_util.get(i).copied().unwrap_or(0.0);
+            let u = if u.is_finite() { u.max(0.0) } else { 0.0 };
+            c.max(0.0) * (1.0 - u).max(0.05)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +493,66 @@ mod tests {
             .count();
         assert_eq!(deploys, 1);
         assert_eq!(arb.stats.capped, 9);
+    }
+
+    #[test]
+    fn waterfill_conserves_total_and_moves_toward_pressure() {
+        let cur = [1.0, 1.0, 1.0];
+        let pressure = [3.0, 1.0, 0.0];
+        let out = waterfill_weights(&cur, &pressure, 0.5);
+        let total: f64 = out.iter().sum();
+        assert!((total - 3.0).abs() < 1e-9, "total drifted: {total}");
+        // Direction: high-pressure slot gains, zero-pressure slot loses.
+        assert!(out[0] > cur[0]);
+        assert!(out[2] < cur[2]);
+        // Half-step lands halfway to the target (2.25, 0.75, 0.0).
+        assert!((out[0] - 1.625).abs() < 1e-9);
+        assert!((out[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_fixed_point_and_identity() {
+        // step = 1 jumps to the target, which is then a fixed point.
+        let cur = [2.0, 1.0];
+        let pressure = [1.0, 2.0];
+        let at_target = waterfill_weights(&cur, &pressure, 1.0);
+        assert!((at_target[0] - 1.0).abs() < 1e-9);
+        assert!((at_target[1] - 2.0).abs() < 1e-9);
+        let again = waterfill_weights(&at_target, &pressure, 1.0);
+        assert_eq!(at_target, again, "target is not a fixed point");
+        // step = 0 is the identity.
+        assert_eq!(waterfill_weights(&cur, &pressure, 0.0), cur.to_vec());
+    }
+
+    #[test]
+    fn waterfill_degenerate_inputs_unchanged() {
+        assert!(waterfill_weights(&[], &[], 0.5).is_empty());
+        // All-zero pressure: nothing to aim at.
+        assert_eq!(
+            waterfill_weights(&[1.0, 2.0], &[0.0, 0.0], 0.5),
+            vec![1.0, 2.0]
+        );
+        // Zero current total: nothing to redistribute.
+        assert_eq!(
+            waterfill_weights(&[0.0, 0.0], &[1.0, 1.0], 0.5),
+            vec![0.0, 0.0]
+        );
+        // Short pressure vector is zero-padded.
+        let out = waterfill_weights(&[1.0, 1.0], &[1.0], 1.0);
+        assert!((out[0] - 2.0).abs() < 1e-9 && out[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn headroom_pressure_floors_hot_slots() {
+        let p = headroom_pressure(&[2.0, 4.0, 1.0], &[0.5, 1.2, f64::NAN]);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        // Over-utilized slot keeps the 5% floor instead of going negative.
+        assert!((p[1] - 4.0 * 0.05).abs() < 1e-12);
+        // Non-finite utilization treated as idle.
+        assert!((p[2] - 1.0).abs() < 1e-12);
+        // Missing utilization entries default to idle.
+        let q = headroom_pressure(&[1.0, 1.0], &[0.5]);
+        assert!((q[1] - 1.0).abs() < 1e-12);
     }
 
     #[test]

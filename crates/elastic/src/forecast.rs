@@ -228,6 +228,68 @@ impl Predictor {
     }
 }
 
+/// A bank of predictors over a fixed index space (pods, access links):
+/// one [`Predictor`] per slot, observed and predicted as a vector.
+///
+/// The per-app forecasters predict *demand streams*; this aggregates at
+/// the infrastructure level instead — per-pod utilization, per-link
+/// demand — which is what lets the global manager pre-position weight
+/// shifts and VIP transfers (§IV.B) before a hotspot materializes.
+/// Grow-only: `observe` resizes to the widest vector seen (pods can be
+/// created at runtime; they are never destroyed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupForecaster {
+    cfg: ForecastConfig,
+    preds: Vec<Predictor>,
+}
+
+impl GroupForecaster {
+    /// A bank of `n` fresh predictors.
+    pub fn new(cfg: ForecastConfig, n: usize) -> Self {
+        GroupForecaster {
+            cfg,
+            preds: (0..n).map(|_| Predictor::new(&cfg)).collect(),
+        }
+    }
+
+    /// Number of tracked slots.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the bank tracks no slots.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Grow the bank to at least `n` slots (never shrinks — a slot's
+    /// history survives even if a later observation vector is shorter).
+    pub fn resize(&mut self, n: usize) {
+        while self.preds.len() < n {
+            self.preds.push(Predictor::new(&self.cfg));
+        }
+    }
+
+    /// Record one epoch's observation vector, growing the bank if the
+    /// vector is wider than the current slot count.
+    pub fn observe(&mut self, values: &[f64]) {
+        self.resize(values.len());
+        for (p, &v) in self.preds.iter_mut().zip(values) {
+            p.observe(v);
+        }
+    }
+
+    /// Predicted value per slot, `horizon` epochs ahead; finite, `>= 0`.
+    pub fn predict(&self, horizon: u32) -> Vec<f64> {
+        self.preds.iter().map(|p| p.predict(horizon)).collect()
+    }
+
+    /// Prediction for one slot (0 for out-of-range slots).
+    pub fn predict_one(&self, idx: usize, horizon: u32) -> f64 {
+        self.preds.get(idx).map_or(0.0, |p| p.predict(horizon))
+    }
+}
+
 /// Running mean absolute percentage error of one-step forecasts.
 ///
 /// Epochs with (near-)zero actual demand are skipped — APE is undefined
@@ -355,6 +417,31 @@ mod tests {
         p.observe(-5.0);
         assert!(p.predict(3).is_finite());
         assert!(p.predict(3) >= 0.0);
+    }
+
+    #[test]
+    fn group_forecaster_tracks_each_slot_independently() {
+        let mut g = GroupForecaster::new(ForecastConfig::default(), 2);
+        for i in 0..50 {
+            g.observe(&[10.0, 5.0 * i as f64]);
+        }
+        let p = g.predict(1);
+        assert!((p[0] - 10.0).abs() < 1e-6, "flat slot drifted: {}", p[0]);
+        assert!(p[1] > 5.0 * 49.0, "ramping slot not extrapolated: {}", p[1]);
+        assert_eq!(g.predict_one(0, 1), p[0]);
+        assert_eq!(g.predict_one(99, 1), 0.0);
+    }
+
+    #[test]
+    fn group_forecaster_grows_with_wider_observations() {
+        let mut g = GroupForecaster::new(ForecastConfig::default(), 1);
+        g.observe(&[1.0]);
+        g.observe(&[1.0, 7.0, 3.0]); // a pod was created mid-run
+        assert_eq!(g.len(), 3);
+        g.observe(&[1.0, 7.0]); // shorter vector: slot 2 keeps its state
+        assert_eq!(g.len(), 3);
+        assert!(g.predict_one(2, 0) > 0.0);
+        assert!(!g.is_empty());
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //!
 //! * [`forecast`] — per-app demand predictors (EWMA, Holt
 //!   double-exponential with trend, peak-over-window), deterministic and
-//!   allocation-free per tick so 300k apps fit in one epoch.
+//!   allocation-free per tick so 300k apps fit in one epoch; plus
+//!   [`GroupForecaster`] banks for infrastructure-level streams (per-pod
+//!   utilization, per-link demand) that the global manager feeds its
+//!   water-filling reweights ([`waterfill_weights`]) from.
 //! * [`autoscaler`] — a target-tracking controller converting forecasts
 //!   into desired capacity, with hysteresis bands and per-direction
 //!   cooldowns, emitting proactive knob requests (deploy/replicate
@@ -55,9 +58,12 @@ pub mod arbiter;
 pub mod autoscaler;
 pub mod forecast;
 
-pub use arbiter::{Agility, Arbiter, ArbiterConfig, ArbiterStats, KnobRequest, ProposedAction};
+pub use arbiter::{
+    headroom_pressure, waterfill_weights, Agility, Arbiter, ArbiterConfig, ArbiterStats,
+    KnobRequest, ProposedAction,
+};
 pub use autoscaler::{AppObservation, AppScaler, AutoscalerConfig};
-pub use forecast::{ForecastConfig, ForecastMethod, MapeAccumulator, Predictor};
+pub use forecast::{ForecastConfig, ForecastMethod, GroupForecaster, MapeAccumulator, Predictor};
 
 use serde::{Deserialize, Serialize};
 

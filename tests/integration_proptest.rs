@@ -3,12 +3,14 @@
 //! moves, weight changes, failures — never break the cross-component
 //! invariants of `PlatformState::assert_invariants`.
 
+use dcsim::SimDuration;
 use lbswitch::SwitchId;
 use megadc::config::PlatformConfig;
 use megadc::state::PlatformState;
-use megadc::{AppId, PodId};
+use megadc::{AppId, Platform, PodId};
 use proptest::prelude::*;
 use vmm::ServerId;
+use workload::FlashCrowd;
 
 /// The operations the fuzzer may interleave. Indices are taken modulo the
 /// live population so every generated value is meaningful.
@@ -148,5 +150,85 @@ proptest! {
         // number of VMs holding one.
         let rips_on_switches: usize = st.switches.iter().map(|s| s.rip_count()).sum();
         prop_assert_eq!(rips_on_switches, st.num_rips());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// The multi-pod reweight law (E17): any sequence of water-fill
+    /// steps — arbitrary pressures, arbitrary step sizes — conserves the
+    /// total RIP weight of the VIP (±ε) and never produces a negative
+    /// weight. This is the invariant that lets the global manager apply
+    /// the correction repeatedly without drifting the VIP's aggregate
+    /// exposure.
+    #[test]
+    fn waterfill_sequences_conserve_total_weight(
+        initial in proptest::collection::vec(0.01f64..10.0, 2..8),
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..5.0, 8), 0.01f64..1.0),
+            1..24,
+        )
+    ) {
+        let total: f64 = initial.iter().sum();
+        let mut w = initial;
+        for (pressure, step) in rounds {
+            w = elastic::waterfill_weights(&w, &pressure, step);
+            let now: f64 = w.iter().sum();
+            prop_assert!(
+                (now - total).abs() <= 1e-9 * total.max(1.0),
+                "total drifted: {} -> {}",
+                total,
+                now
+            );
+            prop_assert!(w.iter().all(|&x| x >= 0.0), "negative weight in {w:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// In failure-free runs, no control-plane action — exposure resets,
+    /// drains, retirements, misrouting escapes, proactive scaling — may
+    /// leave a VIP exposed in DNS while it has zero RIPs: that would
+    /// black-hole every request the resolver still routes there.
+    #[test]
+    fn exposed_vips_always_have_rips_without_failures(
+        seed in 0u64..1000,
+        demand in 0.1e9..0.8e9,
+        peak in 1.0f64..8.0,
+        proactive in any::<bool>(),
+    ) {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.seed = seed;
+        cfg.total_demand_bps = demand;
+        cfg.diurnal_amplitude = 0.3;
+        if proactive {
+            cfg.elastic = elastic::ElasticConfig::proactive();
+        }
+        let mut p = Platform::build(cfg).expect("build");
+        p.run_epochs(3);
+        let victim = p.workload.apps_by_popularity()[0];
+        p.workload.add_flash_crowd(FlashCrowd {
+            app: victim,
+            start: p.now() + SimDuration::from_secs(20),
+            ramp: SimDuration::from_secs(120),
+            duration: SimDuration::from_secs(600),
+            peak,
+        });
+        for _ in 0..15 {
+            p.step();
+            let apps: Vec<AppId> = p.state.apps().iter().map(|a| a.id).collect();
+            for app in apps {
+                for (vip, share) in p.state.dns.published_shares(app.dns_key()) {
+                    if share > 0.0 {
+                        prop_assert!(
+                            p.state.vip_rip_count(vip) > 0,
+                            "{vip:?} of {app:?} exposed at share {share} with zero RIPs"
+                        );
+                    }
+                }
+            }
+        }
+        p.state.assert_invariants();
     }
 }
