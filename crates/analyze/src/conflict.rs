@@ -1,0 +1,360 @@
+//! Pass 2 — the knob-action conflict checker.
+//!
+//! Consumes the footprint declarations that live next to the actions
+//! ([`megadc::footprint`]), computes the pairwise conflict matrix, and
+//! asserts that every conflicting pair is either ordered by the
+//! serialized VIP/RIP manager or covered by an explicit guard
+//! declaration. The retire × transfer pair that PR 2 fixed by hand is
+//! derivable here: `QueueRetire` queues a write to the RIP set that
+//! `VipTransfer` reads directly, which is exactly the shape the
+//! serialized queue alone does not order.
+
+use megadc::footprint::{GlobalAction, GuardDecl, GuardKind, Resource, ALL_ACTIONS, GUARDS};
+use std::collections::BTreeMap;
+
+/// How one action touches one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Access {
+    /// Direct read during the epoch.
+    Read,
+    /// Immediate mutation.
+    DirectWrite,
+    /// Mutation submitted to the serialized VIP/RIP queue.
+    QueuedWrite,
+}
+
+impl Access {
+    fn label(self) -> &'static str {
+        match self {
+            Access::Read => "R",
+            Access::DirectWrite => "W",
+            Access::QueuedWrite => "W(q)",
+        }
+    }
+}
+
+fn accesses(a: GlobalAction, r: Resource) -> Vec<Access> {
+    let fp = a.footprint();
+    let mut v = Vec::new();
+    if fp.reads.contains(&r) {
+        v.push(Access::Read);
+    }
+    if fp.direct_writes.contains(&r) {
+        v.push(Access::DirectWrite);
+    }
+    if fp.queued_writes.contains(&r) {
+        v.push(Access::QueuedWrite);
+    }
+    v
+}
+
+/// How a conflicting pair is (or is not) made safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Every conflicting access on every shared resource goes through
+    /// the serialized queue: ordered by §III.C alone.
+    AutoSerialized,
+    /// Covered by an explicit [`GuardDecl`].
+    Guarded(GuardKind, &'static str),
+    /// Nobody orders this pair — a latent race. Fails `--deny`.
+    Unguarded,
+}
+
+/// One conflicting action pair.
+#[derive(Debug, Clone)]
+pub struct Conflict {
+    /// Lexicographically smaller action of the pair.
+    pub a: GlobalAction,
+    /// The other action.
+    pub b: GlobalAction,
+    /// Shared resources with each side's access modes.
+    pub resources: Vec<(Resource, Vec<Access>, Vec<Access>)>,
+    /// How the pair is ordered/guarded.
+    pub resolution: Resolution,
+}
+
+fn writes(acc: &[Access]) -> bool {
+    acc.iter()
+        .any(|a| matches!(a, Access::DirectWrite | Access::QueuedWrite))
+}
+
+/// A resource conflict is queue-ordered when every access by both sides
+/// is a queued write: the VIP/RIP manager applies them in (priority,
+/// FIFO) order. Any direct read or direct write racing a queued write is
+/// *not* ordered by the queue — the retire × transfer bug shape.
+fn queue_ordered(a: &[Access], b: &[Access]) -> bool {
+    a.iter().all(|x| *x == Access::QueuedWrite) && b.iter().all(|x| *x == Access::QueuedWrite)
+}
+
+const ALL_RESOURCES: [Resource; 8] = [
+    Resource::DnsExposure,
+    Resource::DnsRecords,
+    Resource::RipWeights,
+    Resource::RipSet,
+    Resource::SwitchVipTable,
+    Resource::PodMembership,
+    Resource::VmFleet,
+    Resource::PendingRetires,
+];
+
+/// Compute every conflicting pair and resolve it against `guards`
+/// (parameterized so tests can knock a guard out and watch the checker
+/// catch it; production callers pass [`megadc::footprint::GUARDS`]).
+pub fn conflicts(guards: &[GuardDecl]) -> Vec<Conflict> {
+    let mut guard_map: BTreeMap<(GlobalAction, GlobalAction), (GuardKind, &'static str)> =
+        BTreeMap::new();
+    for g in guards {
+        let key = if g.a <= g.b { (g.a, g.b) } else { (g.b, g.a) };
+        guard_map.insert(key, (g.kind, g.why));
+    }
+    let mut out = Vec::new();
+    for (i, &a) in ALL_ACTIONS.iter().enumerate() {
+        for &b in &ALL_ACTIONS[i + 1..] {
+            let mut shared = Vec::new();
+            let mut all_queue_ordered = true;
+            for r in ALL_RESOURCES {
+                let aa = accesses(a, r);
+                let bb = accesses(b, r);
+                if aa.is_empty() || bb.is_empty() {
+                    continue;
+                }
+                if !(writes(&aa) || writes(&bb)) {
+                    continue; // read/read never conflicts
+                }
+                if !queue_ordered(&aa, &bb) {
+                    all_queue_ordered = false;
+                }
+                shared.push((r, aa, bb));
+            }
+            if shared.is_empty() {
+                continue;
+            }
+            let resolution = if all_queue_ordered {
+                Resolution::AutoSerialized
+            } else {
+                match guard_map.get(&(a, b)) {
+                    Some(&(kind, why)) => Resolution::Guarded(kind, why),
+                    None => Resolution::Unguarded,
+                }
+            };
+            out.push(Conflict {
+                a,
+                b,
+                resources: shared,
+                resolution,
+            });
+        }
+    }
+    out
+}
+
+/// Validate the guard table against the computed conflicts. Returns
+/// error strings for: unguarded conflicting pairs, guard declarations
+/// for pairs that do not conflict (stale guards), and duplicate guards.
+pub fn check(guards: &[GuardDecl]) -> Vec<String> {
+    let mut errors = Vec::new();
+    let found = conflicts(guards);
+    for c in &found {
+        if c.resolution == Resolution::Unguarded {
+            let res: Vec<String> = c
+                .resources
+                .iter()
+                .map(|(r, aa, bb)| {
+                    format!(
+                        "{} ({} vs {})",
+                        r.name(),
+                        aa.iter().map(|x| x.label()).collect::<Vec<_>>().join("+"),
+                        bb.iter().map(|x| x.label()).collect::<Vec<_>>().join("+"),
+                    )
+                })
+                .collect();
+            errors.push(format!(
+                "[knob-conflict] {} x {} conflict on {} but no guard is declared \
+                 (add the guard in code, then declare it in crates/core/src/footprint.rs)",
+                c.a.name(),
+                c.b.name(),
+                res.join(", ")
+            ));
+        }
+    }
+    // Stale or duplicate guard declarations keep the table honest.
+    let mut seen: BTreeMap<(GlobalAction, GlobalAction), usize> = BTreeMap::new();
+    for g in guards {
+        let key = if g.a <= g.b { (g.a, g.b) } else { (g.b, g.a) };
+        *seen.entry(key).or_insert(0) += 1;
+    }
+    for (&(a, b), &n) in &seen {
+        if n > 1 {
+            errors.push(format!(
+                "[knob-conflict] duplicate guard declaration for {} x {}",
+                a.name(),
+                b.name()
+            ));
+        }
+        let conflict_needs_guard = found
+            .iter()
+            .any(|c| (c.a, c.b) == (a, b) && c.resolution != Resolution::AutoSerialized);
+        if !conflict_needs_guard {
+            errors.push(format!(
+                "[knob-conflict] stale guard: {} x {} does not conflict (or is already \
+                 queue-ordered); remove the declaration",
+                a.name(),
+                b.name()
+            ));
+        }
+    }
+    errors
+}
+
+/// Render the conflict matrix + legend as the markdown block embedded in
+/// DESIGN.md. Deterministic: same footprints + guards → same bytes.
+pub fn matrix_markdown(guards: &[GuardDecl]) -> String {
+    let found = conflicts(guards);
+    let cell = |a: GlobalAction, b: GlobalAction| -> &'static str {
+        if a == b {
+            return "—";
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        match found.iter().find(|c| (c.a, c.b) == key) {
+            None => "·",
+            Some(c) => match &c.resolution {
+                Resolution::AutoSerialized => "Q",
+                Resolution::Guarded(..) => "G",
+                Resolution::Unguarded => "**X**",
+            },
+        }
+    };
+    let mut md = String::new();
+    md.push_str(
+        "Cell legend: `—` self, `·` no shared mutable state, `Q` ordered by the \
+         serialized VIP/RIP queue alone (§III.C), `G` explicitly guarded, `X` \
+         UNGUARDED (fails `--deny`).\n\n",
+    );
+    md.push_str("| action |");
+    for a in ALL_ACTIONS {
+        md.push_str(&format!(" {} |", a.name()));
+    }
+    md.push('\n');
+    md.push_str("|---|");
+    for _ in ALL_ACTIONS {
+        md.push_str("---|");
+    }
+    md.push('\n');
+    for a in ALL_ACTIONS {
+        md.push_str(&format!("| **{}** |", a.name()));
+        for b in ALL_ACTIONS {
+            md.push_str(&format!(" {} |", cell(a, b)));
+        }
+        md.push('\n');
+    }
+    md.push_str("\nConflicting pairs and how each is ordered:\n\n");
+    for c in &found {
+        let res: Vec<String> = c
+            .resources
+            .iter()
+            .map(|(r, aa, bb)| {
+                format!(
+                    "{} ({}/{})",
+                    r.name(),
+                    aa.iter().map(|x| x.label()).collect::<Vec<_>>().join("+"),
+                    bb.iter().map(|x| x.label()).collect::<Vec<_>>().join("+"),
+                )
+            })
+            .collect();
+        let how = match &c.resolution {
+            Resolution::AutoSerialized => {
+                "**serialized queue** — all conflicting accesses are queued writes, applied \
+                 in (priority, FIFO) order"
+                    .to_string()
+            }
+            Resolution::Guarded(kind, why) => format!("**{}** — {}", kind.name(), why),
+            Resolution::Unguarded => "**UNGUARDED — latent race**".to_string(),
+        };
+        md.push_str(&format!(
+            "- `{}` × `{}` on {}: {}\n",
+            c.a.name(),
+            c.b.name(),
+            res.join(", "),
+            how
+        ));
+    }
+    md
+}
+
+/// The production matrix (from the declarations in `megadc::footprint`).
+pub fn production_matrix() -> String {
+    matrix_markdown(GUARDS)
+}
+
+/// The production check.
+pub fn production_check() -> Vec<String> {
+    check(GUARDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_guards_cover_everything() {
+        let errors = production_check();
+        assert!(errors.is_empty(), "{errors:#?}");
+    }
+
+    #[test]
+    fn retire_x_transfer_is_a_conflict_and_guarded() {
+        let found = conflicts(GUARDS);
+        let c = found
+            .iter()
+            .find(|c| {
+                (c.a, c.b) == (GlobalAction::VipTransfer, GlobalAction::QueueRetire)
+                    || (c.a, c.b) == (GlobalAction::QueueRetire, GlobalAction::VipTransfer)
+            })
+            .expect("retire x transfer must be derivable as a conflict (the PR 2 bug)");
+        // The conflict must involve the RIP set — the resource the PR 2
+        // race was about — and be guarded by the pending-retire mask.
+        assert!(c.resources.iter().any(|(r, ..)| *r == Resource::RipSet));
+        assert!(
+            matches!(
+                c.resolution,
+                Resolution::Guarded(GuardKind::PendingRetireMask, _)
+            ),
+            "{:?}",
+            c.resolution
+        );
+    }
+
+    #[test]
+    fn removing_a_guard_is_caught() {
+        // Drop the retire x transfer guard: the checker must flag the
+        // pair as unguarded — i.e. it would have caught the PR 2 bug.
+        let reduced: Vec<GuardDecl> = GUARDS
+            .iter()
+            .copied()
+            .filter(|g| {
+                !(matches!(g.a, GlobalAction::QueueRetire)
+                    && matches!(g.b, GlobalAction::VipTransfer)
+                    || matches!(g.a, GlobalAction::VipTransfer)
+                        && matches!(g.b, GlobalAction::QueueRetire))
+            })
+            .collect();
+        let errors = check(&reduced);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("QueueRetire") && e.contains("VipTransfer")),
+            "{errors:#?}"
+        );
+    }
+
+    #[test]
+    fn matrix_is_deterministic_and_race_free() {
+        let m1 = production_matrix();
+        let m2 = production_matrix();
+        assert_eq!(m1, m2);
+        // The unguarded cell marker and the per-pair race note must be
+        // absent (the legend legitimately mentions `X`).
+        assert!(!m1.contains("**X**"), "{m1}");
+        assert!(!m1.contains("latent race"), "{m1}");
+    }
+}

@@ -1,0 +1,261 @@
+//! # analyze — workspace determinism linter + knob-action conflict checker
+//!
+//! `cargo run -p analyze -- --deny` is the CI gate that machine-verifies
+//! the two conventions the repo's reproducibility and the paper's §III.C
+//! safety argument rest on:
+//!
+//! * **Pass 1 (lint, [`lint`])** — token-level scan of `crates/*/src`
+//!   for hazard classes that silently break bit-identical reruns or
+//!   panic control paths: hash containers, direct float-literal
+//!   equality, `unwrap()`/`expect()`/`panic!` in control-plane crates
+//!   (ratcheted), wall-clock reads, missing `#![forbid(unsafe_code)]`,
+//!   and undocumented `PlatformConfig`/`KnobFlags` fields.
+//! * **Pass 2 (conflicts, [`conflict`])** — computes the pairwise
+//!   read/write conflict matrix of the global-manager actions from the
+//!   declarations in [`megadc::footprint`] and asserts every conflicting
+//!   pair is ordered by the serialized VIP/RIP queue or explicitly
+//!   guarded. The generated matrix is embedded in DESIGN.md and kept in
+//!   sync by the same gate.
+//!
+//! See DESIGN.md §"Static analysis & conflict matrix" for the allowlist
+//! and ratchet workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod conflict;
+pub mod lint;
+pub mod source;
+
+use allowlist::Allowlist;
+use lint::Finding;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Marker opening the generated block in DESIGN.md.
+pub const MATRIX_BEGIN: &str =
+    "<!-- BEGIN GENERATED conflict-matrix (edit crates/core/src/footprint.rs, then run `cargo run -p analyze -- --write`) -->";
+/// Marker closing the generated block in DESIGN.md.
+pub const MATRIX_END: &str = "<!-- END GENERATED conflict-matrix -->";
+
+/// Everything one analysis run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Hard failures (non-empty fails `--deny`).
+    pub errors: Vec<String>,
+    /// Ratchet-improvement and stale-allowlist notes (never fatal).
+    pub warnings: Vec<String>,
+}
+
+impl Report {
+    /// True when the run found nothing fatal.
+    pub fn clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Run both passes over the workspace at `root`.
+pub fn analyze_workspace(root: &Path) -> Report {
+    let mut report = Report::default();
+
+    // ---- allowlist -----------------------------------------------------
+    let allow_path = root.join("crates/analyze/allowlist.txt");
+    let allowlist = match fs::read_to_string(&allow_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(al) => al,
+            Err(e) => {
+                report.errors.push(format!("[allowlist] {e}"));
+                Allowlist::default()
+            }
+        },
+        Err(_) => {
+            report.warnings.push(format!(
+                "[allowlist] {} not found; running with an empty allowlist",
+                allow_path.display()
+            ));
+            Allowlist::default()
+        }
+    };
+
+    // ---- pass 1: lint ----------------------------------------------------
+    let mut findings = lint::lint_sources(root);
+    let config_path = root.join("crates/core/src/config.rs");
+    let design_path = root.join("DESIGN.md");
+    match (
+        fs::read_to_string(&config_path),
+        fs::read_to_string(&design_path),
+    ) {
+        (Ok(cfg), Ok(design)) => findings.extend(lint::lint_knob_docs(&cfg, &design)),
+        _ => report.errors.push(format!(
+            "[knob-doc] cannot read {} or {}",
+            config_path.display(),
+            design_path.display()
+        )),
+    }
+    apply_allowlist(&findings, &allowlist, &mut report);
+
+    // ---- pass 2: conflicts -------------------------------------------------
+    report.errors.extend(conflict::production_check());
+
+    // ---- generated matrix sync ----------------------------------------------
+    let generated = conflict::production_matrix();
+    match fs::read_to_string(&design_path) {
+        Ok(design) => match extract_block(&design) {
+            Some(embedded) if embedded.trim() == generated.trim() => {}
+            Some(_) => report.errors.push(
+                "[conflict-matrix] the generated matrix in DESIGN.md is stale; run \
+                 `cargo run -p analyze -- --write`"
+                    .into(),
+            ),
+            None => report.errors.push(format!(
+                "[conflict-matrix] DESIGN.md does not contain the generated block \
+                 ({MATRIX_BEGIN} … {MATRIX_END}); run `cargo run -p analyze -- --write`"
+            )),
+        },
+        Err(e) => report
+            .errors
+            .push(format!("[conflict-matrix] cannot read DESIGN.md: {e}")),
+    }
+
+    report
+}
+
+/// Suppress vetted findings, enforce the per-crate panicking ratchet and
+/// the per-file allow counts, and convert the rest to errors.
+fn apply_allowlist(findings: &[Finding], allowlist: &Allowlist, report: &mut Report) {
+    // panicking: counted per crate against the ratchet baseline.
+    let mut panicking_per_crate: BTreeMap<String, Vec<&Finding>> = BTreeMap::new();
+    // everything else: counted per (rule, file) against allow entries.
+    let mut per_rule_file: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        if f.rule == "panicking" {
+            panicking_per_crate
+                .entry(f.krate.clone())
+                .or_default()
+                .push(f);
+        } else {
+            per_rule_file
+                .entry((f.rule.to_string(), f.file.clone()))
+                .or_default()
+                .push(f);
+        }
+    }
+
+    for (krate, fs) in &panicking_per_crate {
+        let baseline = allowlist.ratchets.get(krate).copied().unwrap_or(0);
+        match fs.len() {
+            n if n > baseline => {
+                report.errors.push(format!(
+                    "[panicking] crate `{krate}` has {n} panicking call sites in non-test \
+                     control-plane code, above the ratchet baseline of {baseline} — the \
+                     count may only go down (crates/analyze/allowlist.txt)"
+                ));
+                for f in fs.iter().take(8) {
+                    report.errors.push(format!("  {f}"));
+                }
+                if fs.len() > 8 {
+                    report.errors.push(format!("  … and {} more", fs.len() - 8));
+                }
+            }
+            n if n < baseline => report.warnings.push(format!(
+                "[panicking] crate `{krate}` is at {n}, below the ratchet baseline of \
+                 {baseline} — lower the baseline in crates/analyze/allowlist.txt to lock \
+                 in the improvement"
+            )),
+            _ => {}
+        }
+    }
+    // A ratchet entry for a crate with zero findings should be zeroed.
+    for (krate, &baseline) in &allowlist.ratchets {
+        if baseline > 0 && !panicking_per_crate.contains_key(krate) {
+            report.warnings.push(format!(
+                "[panicking] crate `{krate}` has no findings but a ratchet baseline of \
+                 {baseline}; lower it to 0"
+            ));
+        }
+    }
+
+    for ((rule, file), fs) in &per_rule_file {
+        let allowed = allowlist
+            .allows
+            .get(&(rule.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if fs.len() > allowed {
+            for f in fs {
+                report.errors.push(f.to_string());
+            }
+            if allowed > 0 {
+                report.errors.push(format!(
+                    "[{rule}] {file}: {} findings exceed the {allowed} allowed",
+                    fs.len()
+                ));
+            }
+        } else if fs.len() < allowed {
+            report.warnings.push(format!(
+                "[{rule}] {file}: allowlist permits {allowed} but only {} remain; \
+                 lower the count",
+                fs.len()
+            ));
+        }
+    }
+    // Allow entries pointing at clean files are stale.
+    for ((rule, file), &allowed) in &allowlist.allows {
+        if allowed > 0 && !per_rule_file.contains_key(&(rule.clone(), file.clone())) {
+            report.warnings.push(format!(
+                "[{rule}] {file}: allowlist permits {allowed} but the file is clean; \
+                 remove the entry"
+            ));
+        }
+    }
+}
+
+/// Extract the generated block (exclusive of markers) from DESIGN.md.
+pub fn extract_block(design: &str) -> Option<&str> {
+    let start = design.find(MATRIX_BEGIN)? + MATRIX_BEGIN.len();
+    let end = design[start..].find(MATRIX_END)? + start;
+    Some(&design[start..end])
+}
+
+/// Replace (or append) the generated block in DESIGN.md; returns the new
+/// file contents.
+pub fn splice_block(design: &str, generated: &str) -> String {
+    let block = format!("{MATRIX_BEGIN}\n\n{generated}\n{MATRIX_END}");
+    match (design.find(MATRIX_BEGIN), design.find(MATRIX_END)) {
+        (Some(s), Some(e)) if e > s => {
+            let mut out = String::with_capacity(design.len() + generated.len());
+            out.push_str(&design[..s]);
+            out.push_str(&block);
+            out.push_str(&design[e + MATRIX_END.len()..]);
+            out
+        }
+        _ => format!("{design}\n{block}\n"),
+    }
+}
+
+/// The workspace root this crate was built in (two levels above the
+/// manifest) — the default for the binary and the integration tests.
+pub fn default_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_roundtrips() {
+        let design = "# Doc\n\nbody\n";
+        let v1 = splice_block(design, "MATRIX v1");
+        assert!(extract_block(&v1).unwrap().contains("MATRIX v1"));
+        let v2 = splice_block(&v1, "MATRIX v2");
+        let b = extract_block(&v2).unwrap();
+        assert!(b.contains("MATRIX v2") && !b.contains("MATRIX v1"));
+        assert_eq!(v2.matches(MATRIX_BEGIN).count(), 1);
+    }
+}

@@ -1,0 +1,447 @@
+//! Pass 1 — the workspace determinism linter.
+//!
+//! A line/token-level scanner over `crates/*/src` (no rustc plugin)
+//! flagging the project-specific hazard classes that would silently
+//! break the bit-identical-rerun invariant or the no-panic control
+//! paths:
+//!
+//! * `hash-container` — `HashMap`/`HashSet` in non-test code. Iteration
+//!   order is nondeterministic across processes; control-plane and
+//!   output paths must use `BTreeMap`/`BTreeSet` or sorted iteration.
+//! * `float-cmp` — direct `==`/`!=` against a float literal. Exact
+//!   float equality is order-sensitive; vetted exact-zero sentinels are
+//!   allowlisted.
+//! * `panicking` — `unwrap()`/`expect(`/`panic!`/`unreachable!` in
+//!   non-test control-plane code (`core`, `elastic`, `lbswitch`,
+//!   `placement`), counted per crate against a ratcheting baseline that
+//!   can only go down.
+//! * `wall-clock` — `Instant::now`/`SystemTime` outside `dcsim::time`
+//!   and the `bench` crate (which measures real CPU time by design).
+//! * `unsafe-forbid` — every workspace crate root must carry
+//!   `#![forbid(unsafe_code)]`.
+//! * `knob-doc` — every `PlatformConfig`/`KnobFlags` field must be
+//!   mentioned in DESIGN.md, so knobs cannot ship undocumented.
+
+use crate::source::{strip, test_line_mask};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose control paths must not panic (the ratcheted rule).
+pub const CONTROL_PLANE_CRATES: &[&str] = &["core", "elastic", "lbswitch", "placement"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`hash-container`, `float-cmp`, `panicking`,
+    /// `wall-clock`, `unsafe-forbid`, `knob-doc`).
+    pub rule: &'static str,
+    /// Crate directory name under `crates/` (e.g. `core`).
+    pub krate: String,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number (0 for file/crate-level findings).
+    pub line: usize,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of every occurrence of `needle` in `line` as a whole
+/// token (not embedded in a longer identifier).
+fn token_positions(line: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap_or(' '));
+        let after = line[at + needle.len()..].chars().next().unwrap_or(' ');
+        // A trailing `!`/`(`/`:` is fine; another ident char means we
+        // matched inside a longer name.
+        if before_ok && !is_ident_char(after) {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+fn find_token(line: &str, needle: &str) -> Option<usize> {
+    token_positions(line, needle).into_iter().next()
+}
+
+/// Is the text at `s` (after optional sign/spaces) a float literal?
+fn starts_with_float_literal(s: &str) -> bool {
+    let s = s.trim_start();
+    let s = s.strip_prefix('-').unwrap_or(s).trim_start();
+    let mut chars = s.chars().peekable();
+    let mut digits = 0;
+    while chars
+        .peek()
+        .is_some_and(|c| c.is_ascii_digit() || *c == '_')
+    {
+        chars.next();
+        digits += 1;
+    }
+    digits > 0 && chars.peek() == Some(&'.')
+}
+
+/// Does the text *ending* at this point end in a float literal
+/// (e.g. the left operand of `0.5 == x`)?
+fn ends_with_float_literal(s: &str) -> bool {
+    let s = s.trim_end();
+    let mut rev = s.chars().rev().peekable();
+    let mut digits_after = 0;
+    while rev.peek().is_some_and(|c| c.is_ascii_digit() || *c == '_') {
+        rev.next();
+        digits_after += 1;
+    }
+    if digits_after == 0 || rev.next() != Some('.') {
+        return false;
+    }
+    // A literal's dot is preceded by a digit (`1.0`); tuple-field access
+    // is preceded by an identifier, `]`, or `)` (`r.0`, `pair[0].0`).
+    rev.peek().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Scan one stripped line for direct float-literal `==`/`!=` compares.
+fn float_cmp_on_line(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &line[i..i + 2];
+        let is_eq = two == "==";
+        let is_ne = two == "!=";
+        if is_eq || is_ne {
+            let prev = if i == 0 { b' ' } else { bytes[i - 1] };
+            let next = bytes.get(i + 2).copied().unwrap_or(b' ');
+            // Skip `<=`, `>=`, `===`-ish and `=>`/pattern arrows; `!=` is
+            // never preceded by an operator char in valid code we care
+            // about, and `a !== b` is not Rust.
+            let operator_ok = if is_eq {
+                !matches!(prev, b'<' | b'>' | b'!' | b'=' | b'+' | b'-' | b'*' | b'/')
+                    && next != b'='
+            } else {
+                next != b'='
+            };
+            if operator_ok
+                && (starts_with_float_literal(&line[i + 2..])
+                    || ends_with_float_literal(&line[..i]))
+            {
+                return true;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+fn panicking_on_line(line: &str) -> Option<&'static str> {
+    // `.unwrap()` / `.expect(` as method calls; the macros as tokens.
+    for at in token_positions(line, "unwrap") {
+        if line[at..].starts_with("unwrap()") && line[..at].trim_end().ends_with('.') {
+            return Some("unwrap()");
+        }
+    }
+    for at in token_positions(line, "expect") {
+        if line[at..].starts_with("expect(") && line[..at].trim_end().ends_with('.') {
+            return Some("expect()");
+        }
+    }
+    for (needle, label) in [
+        ("panic", "panic!"),
+        ("unreachable", "unreachable!"),
+        ("todo", "todo!"),
+        ("unimplemented", "unimplemented!"),
+    ] {
+        for at in token_positions(line, needle) {
+            if line[at + needle.len()..].starts_with('!') {
+                return Some(label);
+            }
+        }
+    }
+    None
+}
+
+/// Lint every `crates/*/src/**/*.rs` file under `root`.
+pub fn lint_sources(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)
+        .map(|rd| rd.flatten().map(|e| e.path()).collect())
+        .unwrap_or_default();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs.iter().filter(|p| p.is_dir()) {
+        let krate = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        // unsafe-forbid: crate roots must forbid unsafe code.
+        for root_file in ["lib.rs", "main.rs"] {
+            let p = src.join(root_file);
+            if let Ok(text) = fs::read_to_string(&p) {
+                if !strip(&text).contains("#![forbid(unsafe_code)]") {
+                    findings.push(Finding {
+                        rule: "unsafe-forbid",
+                        krate: krate.clone(),
+                        file: rel(root, &p),
+                        line: 0,
+                        message: "crate root is missing #![forbid(unsafe_code)]".into(),
+                    });
+                }
+            }
+        }
+        let control_plane = CONTROL_PLANE_CRATES.contains(&krate.as_str());
+        for file in rust_files(&src) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let stripped = strip(&text);
+            let mask = test_line_mask(&stripped);
+            let relpath = rel(root, &file);
+            let wallclock_exempt = krate == "bench" || relpath.ends_with("dcsim/src/time.rs");
+            for (idx, line) in stripped.lines().enumerate() {
+                if mask.get(idx).copied().unwrap_or(false) {
+                    continue; // test code
+                }
+                let lineno = idx + 1;
+                for container in ["HashMap", "HashSet"] {
+                    if find_token(line, container).is_some() {
+                        findings.push(Finding {
+                            rule: "hash-container",
+                            krate: krate.clone(),
+                            file: relpath.clone(),
+                            line: lineno,
+                            message: format!(
+                                "{container} iteration order is nondeterministic; use \
+                                 BTreeMap/BTreeSet or sorted iteration"
+                            ),
+                        });
+                    }
+                }
+                if float_cmp_on_line(line) {
+                    findings.push(Finding {
+                        rule: "float-cmp",
+                        krate: krate.clone(),
+                        file: relpath.clone(),
+                        line: lineno,
+                        message: "direct ==/!= against a float literal; compare with a \
+                                  tolerance or allowlist the vetted exact-zero sentinel"
+                            .into(),
+                    });
+                }
+                if control_plane {
+                    if let Some(tok) = panicking_on_line(line) {
+                        findings.push(Finding {
+                            rule: "panicking",
+                            krate: krate.clone(),
+                            file: relpath.clone(),
+                            line: lineno,
+                            message: format!(
+                                "{tok} in non-test control-plane code (ratcheted; see \
+                                 crates/analyze/allowlist.txt)"
+                            ),
+                        });
+                    }
+                }
+                if !wallclock_exempt
+                    && (line.contains("Instant::now") || find_token(line, "SystemTime").is_some())
+                {
+                    findings.push(Finding {
+                        rule: "wall-clock",
+                        krate: krate.clone(),
+                        file: relpath.clone(),
+                        line: lineno,
+                        message: "wall-clock time outside dcsim::time breaks reproducibility; \
+                                  use SimTime (or allowlist measured-runtime instrumentation)"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// `knob-doc`: every `pub` field of `KnobFlags` and `PlatformConfig` in
+/// `config_src` must be mentioned in `design_text`.
+pub fn lint_knob_docs(config_src: &str, design_text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let stripped = strip(config_src);
+    for (strukt, fields) in [
+        ("KnobFlags", struct_fields(&stripped, "KnobFlags")),
+        ("PlatformConfig", struct_fields(&stripped, "PlatformConfig")),
+    ] {
+        for (line, field) in fields {
+            if !mentions_word(design_text, &field) {
+                findings.push(Finding {
+                    rule: "knob-doc",
+                    krate: "core".into(),
+                    file: "crates/core/src/config.rs".into(),
+                    line,
+                    message: format!(
+                        "{strukt}::{field} is not mentioned in DESIGN.md; knobs must not \
+                         ship undocumented"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Extract `pub <ident>:` field names (with 1-based line numbers) from
+/// the struct named `name` in stripped source.
+fn struct_fields(stripped: &str, name: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let header = format!("struct {name} ");
+    let alt_header = format!("struct {name}{{");
+    let mut depth = 0i64;
+    let mut inside = false;
+    for (idx, line) in stripped.lines().enumerate() {
+        if !inside && (line.contains(&header) || line.contains(&alt_header)) && line.contains('{') {
+            inside = true;
+            depth = 0;
+        }
+        if inside {
+            for c in line.chars() {
+                if c == '{' {
+                    depth += 1;
+                } else if c == '}' {
+                    depth -= 1;
+                }
+            }
+            let t = line.trim();
+            if depth == 1 {
+                if let Some(rest) = t.strip_prefix("pub ") {
+                    if let Some(colon) = rest.find(':') {
+                        let ident: String = rest[..colon].trim().to_string();
+                        if !ident.is_empty() && ident.chars().all(is_ident_char) {
+                            out.push((idx + 1, ident));
+                        }
+                    }
+                }
+            }
+            if depth == 0 && line.contains('}') {
+                inside = false;
+            }
+        }
+    }
+    out
+}
+
+/// Word-boundary mention check (backticks, punctuation and whitespace
+/// all count as boundaries).
+fn mentions_word(text: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(text[..at].chars().next_back().unwrap_or(' '));
+        let after = text[at + word.len()..].chars().next().unwrap_or(' ');
+        if before_ok && !is_ident_char(after) {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_cmp_detection() {
+        assert!(float_cmp_on_line("if x == 0.0 {"));
+        assert!(float_cmp_on_line("if 0.5 != y {"));
+        assert!(!float_cmp_on_line("if x <= 0.0 {"));
+        assert!(!float_cmp_on_line("if x >= 0.0 {"));
+        assert!(!float_cmp_on_line("if a == b {"));
+        assert!(!float_cmp_on_line("if n == 3 {"));
+        // Tuple-field access is not a float literal.
+        assert!(!float_cmp_on_line("if self.0 == 0 {"));
+        assert!(!float_cmp_on_line(
+            "let on0 = rec.router.map(|r| r.0 == 0);"
+        ));
+        assert!(!float_cmp_on_line("published[0].0 == covered[0]"));
+    }
+
+    #[test]
+    fn panicking_detection() {
+        assert_eq!(
+            panicking_on_line("let x = m.get(k).unwrap();"),
+            Some("unwrap()")
+        );
+        assert_eq!(panicking_on_line("v.expect(\"msg\");"), Some("expect()"));
+        assert_eq!(panicking_on_line("panic!(\"boom\")"), Some("panic!"));
+        assert_eq!(
+            panicking_on_line("_ => unreachable!(),"),
+            Some("unreachable!")
+        );
+        assert_eq!(panicking_on_line("let unwrap = 3;"), None);
+        assert_eq!(panicking_on_line("fn expect_this() {}"), None);
+    }
+
+    #[test]
+    fn struct_field_extraction() {
+        let src = "pub struct KnobFlags {\n    pub link_exposure: bool,\n    pub vip_transfer: bool,\n}\n";
+        let fields = struct_fields(src, "KnobFlags");
+        let names: Vec<&str> = fields.iter().map(|(_, f)| f.as_str()).collect();
+        assert_eq!(names, vec!["link_exposure", "vip_transfer"]);
+    }
+
+    #[test]
+    fn knob_doc_mentions() {
+        let cfg = "pub struct KnobFlags {\n    pub link_exposure: bool,\n}\npub struct PlatformConfig {\n    pub seed: u64,\n}\n";
+        let design = "The `link_exposure` knob. Seeds: `seed`.";
+        assert!(lint_knob_docs(cfg, design).is_empty());
+        let design2 = "The `link_exposure` knob only.";
+        let f = lint_knob_docs(cfg, design2);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("PlatformConfig::seed"));
+    }
+}

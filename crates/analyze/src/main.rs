@@ -1,0 +1,78 @@
+//! `megadc-analyze` — the CI gate.
+//!
+//! ```sh
+//! cargo run -p analyze              # report findings, exit 0
+//! cargo run -p analyze -- --deny    # exit 1 on any finding (CI)
+//! cargo run -p analyze -- --write   # regenerate the DESIGN.md matrix
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny = false;
+    let mut write = false;
+    let mut root = analyze::default_root();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--write" => write = true,
+            "--root" => match it.next() {
+                Some(p) => root = p.into(),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}; usage: analyze [--deny] [--write] [--root PATH]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if write {
+        let design_path = root.join("DESIGN.md");
+        let design = match fs::read_to_string(&design_path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", design_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let updated = analyze::splice_block(&design, &analyze::conflict::production_matrix());
+        if updated != design {
+            if let Err(e) = fs::write(&design_path, updated) {
+                eprintln!("cannot write {}: {e}", design_path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("conflict matrix regenerated in {}", design_path.display());
+        } else {
+            println!("conflict matrix already up to date");
+        }
+    }
+
+    let report = analyze::analyze_workspace(&root);
+    for w in &report.warnings {
+        println!("warning: {w}");
+    }
+    for e in &report.errors {
+        println!("error: {e}");
+    }
+    println!(
+        "analyze: {} error(s), {} warning(s) over {}",
+        report.errors.len(),
+        report.warnings.len(),
+        root.display()
+    );
+    if deny && !report.clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

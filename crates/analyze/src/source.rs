@@ -1,0 +1,245 @@
+//! Comment/string stripping and `#[cfg(test)]` region detection.
+//!
+//! The lint pass is a token-level scanner, not a rustc plugin, so it
+//! must not trip over rule patterns quoted in comments, strings or doc
+//! text, and must skip test code (the determinism and no-panic rules
+//! apply to control paths, not to assertions about them).
+
+/// Replace comments and string/char literal *contents* with spaces,
+/// preserving every newline and the byte length of each line, so line
+/// numbers and column offsets in findings match the original source.
+pub fn strip(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied().unwrap_or('\0');
+        match st {
+            St::Code => match c {
+                '/' if next == '/' => {
+                    st = St::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == '*' => {
+                    st = St::BlockComment(1);
+                    out.push(' ');
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push('"');
+                }
+                'r' if next == '"' || next == '#' => {
+                    // Possible raw string r"…" / r#"…"# — count hashes.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        st = St::RawStr(hashes);
+                    } else {
+                        out.push(c);
+                    }
+                }
+                '\'' => {
+                    // Char literal or lifetime. A literal is '\…' or 'x'
+                    // (single char followed by a closing quote); anything
+                    // else is a lifetime and stays code.
+                    if next == '\\' || bytes.get(i + 2) == Some(&'\'') {
+                        st = St::Char;
+                        out.push('\'');
+                    } else {
+                        out.push('\'');
+                    }
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == '*' {
+                    st = St::BlockComment(depth + 1);
+                    out.push(' ');
+                    i += 1;
+                } else if c == '*' && next == '/' {
+                    if depth == 1 {
+                        st = St::Code;
+                    } else {
+                        st = St::BlockComment(depth - 1);
+                    }
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            St::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next != '\0' {
+                        out.push(if next == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    st = St::Code;
+                    out.push('"');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    // Closing quote must be followed by `hashes` hashes.
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && bytes.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in i..j {
+                            out.push(' ');
+                        }
+                        i = j - 1;
+                        st = St::Code;
+                    } else {
+                        out.push(' ');
+                    }
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next != '\0' {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    st = St::Code;
+                    out.push('\'');
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Per-line flags: is this line inside a `#[cfg(test)]` module?
+///
+/// Works on *stripped* source. Attribute and `mod … {` may sit on
+/// separate lines (rustfmt style). Nested modules inside the test module
+/// are covered by brace depth.
+pub fn test_line_mask(stripped: &str) -> Vec<bool> {
+    let mut mask = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut awaiting_brace = false;
+    let mut region_depth: Option<i64> = None;
+    for line in stripped.lines() {
+        let in_test_at_start = region_depth.is_some();
+        let trimmed = line.trim();
+        if region_depth.is_none() {
+            if trimmed.contains("#[cfg(test)]") {
+                pending_attr = true;
+            } else if pending_attr && !trimmed.is_empty() {
+                if trimmed.starts_with("mod ") || trimmed.contains(" mod ") {
+                    awaiting_brace = true;
+                    pending_attr = false;
+                } else if !trimmed.starts_with("#[") {
+                    // Attribute attached to something that is not a
+                    // module (e.g. a fn): treat the single following item
+                    // conservatively as non-test — the rules only need
+                    // module-level accuracy for this workspace.
+                    pending_attr = false;
+                }
+            }
+        }
+        let mut line_opens_region = false;
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if awaiting_brace && region_depth.is_none() {
+                        region_depth = Some(depth);
+                        awaiting_brace = false;
+                        line_opens_region = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(d) = region_depth {
+                        if depth == d {
+                            region_depth = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        mask.push(in_test_at_start || line_opens_region || trimmed.contains("#[cfg(test)]"));
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let a = 1; // HashMap here\nlet b = \"HashMap\"; /* f == 0.0 */ let c = 2;\n";
+        let s = strip(src);
+        assert!(!s.contains("HashMap"), "{s}");
+        assert!(!s.contains("0.0"), "{s}");
+        assert!(s.contains("let c = 2;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strips_raw_strings_and_chars() {
+        let src = "let a = r#\"unwrap()\"#; let b = '\\u{41}'; let c: &'static str = \"x\";";
+        let s = strip(src);
+        assert!(!s.contains("unwrap"), "{s}");
+        assert!(s.contains("&'static str"), "lifetime mangled: {s}");
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let mask = test_line_mask(&strip(src));
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+}

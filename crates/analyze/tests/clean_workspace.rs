@@ -1,0 +1,19 @@
+//! The real workspace must pass its own gate: this is the same check CI
+//! runs via `cargo run -p analyze -- --deny`, as a test, so `cargo test`
+//! alone catches a regression.
+
+#[test]
+fn real_workspace_is_clean_under_deny() {
+    let root = analyze::default_root();
+    assert!(
+        root.join("Cargo.toml").exists() && root.join("DESIGN.md").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let report = analyze::analyze_workspace(&root);
+    assert!(
+        report.clean(),
+        "the workspace no longer passes `cargo run -p analyze -- --deny`:\n{}",
+        report.errors.join("\n")
+    );
+}

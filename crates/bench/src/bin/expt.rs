@@ -6,6 +6,8 @@
 //! cargo run --release -p megadc-bench --bin expt -- --quick all
 //! ```
 
+#![forbid(unsafe_code)]
+
 use megadc_bench::{run_experiment, EXPERIMENTS};
 
 fn main() {

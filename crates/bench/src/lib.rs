@@ -14,6 +14,8 @@
 //! or a single experiment (`e1` … `e17`). Pass `--quick` for smaller
 //! sweeps (used in CI).
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 
 pub use experiments::run_experiment;

@@ -49,11 +49,13 @@
 //! assert_eq!(report.epochs, 10);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod demand;
 pub mod energy;
+pub mod footprint;
 pub mod global;
 pub mod ids;
 pub mod platform;

@@ -25,6 +25,7 @@
 //! state into a new baseline, so arbitrarily many reconfigurations compose
 //! correctly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use dcsim::rng::splitmix64;

@@ -17,6 +17,7 @@
 //!    the quantities compared between *selective VIP exposure* and naive
 //!    VIP re-advertisement (E3).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;

@@ -15,7 +15,7 @@
 
 use crate::access::AccessRouterId;
 use dcsim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The externally announced prefix for a VIP (opaque id).
 pub type Prefix = u64;
@@ -48,7 +48,10 @@ pub struct ActiveRoute {
 #[derive(Debug, Clone)]
 pub struct RouteTable {
     convergence: SimDuration,
-    routes: HashMap<(Prefix, AccessRouterId), RouteState>,
+    // BTreeMap, not HashMap: route iteration order feeds `usable_routes`
+    // and the experiment output, and bit-identical reruns are a hard
+    // invariant (see `cargo run -p analyze`, rule `hash-container`).
+    routes: BTreeMap<(Prefix, AccessRouterId), RouteState>,
     updates_sent: u64,
 }
 
@@ -59,7 +62,7 @@ impl RouteTable {
     pub fn new(convergence: SimDuration) -> Self {
         RouteTable {
             convergence,
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             updates_sent: 0,
         }
     }

@@ -17,6 +17,7 @@
 //! The kernel is intentionally free of any datacenter semantics; it knows
 //! nothing about switches, pods or VIPs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;

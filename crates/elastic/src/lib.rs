@@ -52,6 +52,7 @@
 //! assert!(ctl.epochs() == 10);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arbiter;

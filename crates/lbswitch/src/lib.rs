@@ -20,6 +20,7 @@
 //! no live sessions, because only the original switch knows the
 //! session→RIP mapping.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod limits;

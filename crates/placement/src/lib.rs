@@ -21,6 +21,7 @@
 //!   distribution alternating with incremental placement changes);
 //! * [`greedy`] — first-fit / best-fit / worst-fit baselines.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod greedy;

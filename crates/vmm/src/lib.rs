@@ -21,6 +21,7 @@
 //! in-flight transitions, and [`CostModel`] supplies the actuation
 //! latencies the experiments compare (E6, E7).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
