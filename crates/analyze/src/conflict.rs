@@ -170,7 +170,7 @@ pub fn check(guards: &[GuardDecl]) -> Vec<String> {
                 .collect();
             errors.push(format!(
                 "[knob-conflict] {} x {} conflict on {} but no guard is declared \
-                 (add the guard in code, then declare it in crates/core/src/footprint.rs)",
+                 (add the guard in code, then declare it in crates/obs/src/footprint.rs)",
                 c.a.name(),
                 c.b.name(),
                 res.join(", ")

@@ -36,7 +36,7 @@ use std::path::Path;
 
 /// Marker opening the generated block in DESIGN.md.
 pub const MATRIX_BEGIN: &str =
-    "<!-- BEGIN GENERATED conflict-matrix (edit crates/core/src/footprint.rs, then run `cargo run -p analyze -- --write`) -->";
+    "<!-- BEGIN GENERATED conflict-matrix (edit crates/obs/src/footprint.rs, then run `cargo run -p analyze -- --write`) -->";
 /// Marker closing the generated block in DESIGN.md.
 pub const MATRIX_END: &str = "<!-- END GENERATED conflict-matrix -->";
 
@@ -94,6 +94,7 @@ pub fn analyze_workspace(root: &Path) -> Report {
             design_path.display()
         )),
     }
+    findings.extend(lint::lint_emit_coverage(root));
     apply_allowlist(&findings, &allowlist, &mut report);
 
     // ---- pass 2: conflicts -------------------------------------------------

@@ -12,28 +12,31 @@
 //!   float equality is order-sensitive; vetted exact-zero sentinels are
 //!   allowlisted.
 //! * `panicking` — `unwrap()`/`expect(`/`panic!`/`unreachable!` in
-//!   non-test control-plane code (`core`, `elastic`, `lbswitch`,
-//!   `placement`), counted per crate against a ratcheting baseline that
-//!   can only go down.
+//!   non-test control-plane code ([`CONTROL_PLANE_CRATES`]), counted
+//!   per crate against a ratcheting baseline that can only go down.
 //! * `wall-clock` — `Instant::now`/`SystemTime` outside `dcsim::time`
 //!   and the `bench` crate (which measures real CPU time by design).
 //! * `unsafe-forbid` — every workspace crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 //! * `knob-doc` — every `PlatformConfig`/`KnobFlags` field must be
 //!   mentioned in DESIGN.md, so knobs cannot ship undocumented.
+//! * `emit-coverage` — every declared `GlobalAction` must have a
+//!   flight-recorder emit site in `crates/core/src` non-test code, so
+//!   no control-plane action can silently skip the audit trail.
 
 use crate::source::{strip, test_line_mask};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crates whose control paths must not panic (the ratcheted rule).
-pub const CONTROL_PLANE_CRATES: &[&str] = &["core", "elastic", "lbswitch", "placement"];
+pub const CONTROL_PLANE_CRATES: &[&str] =
+    &["core", "dcsim", "elastic", "lbswitch", "obs", "placement"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule identifier (`hash-container`, `float-cmp`, `panicking`,
-    /// `wall-clock`, `unsafe-forbid`, `knob-doc`).
+    /// `wall-clock`, `unsafe-forbid`, `knob-doc`, `emit-coverage`).
     pub rule: &'static str,
     /// Crate directory name under `crates/` (e.g. `core`).
     pub krate: String,
@@ -295,6 +298,48 @@ pub fn lint_sources(root: &Path) -> Vec<Finding> {
                     });
                 }
             }
+        }
+    }
+    findings
+}
+
+/// `emit-coverage`: every declared [`megadc::footprint::GlobalAction`]
+/// must have a flight-recorder emit site in `crates/core/src` non-test
+/// code — a `GlobalAction::<Variant>` token. An action whose footprint
+/// is declared but never recorded would silently escape the decision
+/// audit trail (and the conflict matrix would overstate coverage).
+pub fn lint_emit_coverage(root: &Path) -> Vec<Finding> {
+    use megadc::footprint::ALL_ACTIONS;
+    let src = root.join("crates/core/src");
+    let mut non_test = String::new();
+    for file in rust_files(&src) {
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let stripped = strip(&text);
+        let mask = test_line_mask(&stripped);
+        for (idx, line) in stripped.lines().enumerate() {
+            if !mask.get(idx).copied().unwrap_or(false) {
+                non_test.push_str(line);
+                non_test.push('\n');
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for action in ALL_ACTIONS {
+        let token = format!("GlobalAction::{}", action.name());
+        if !mentions_word(&non_test, &token) {
+            findings.push(Finding {
+                rule: "emit-coverage",
+                krate: "core".into(),
+                file: "crates/core/src".into(),
+                line: 0,
+                message: format!(
+                    "{token} is declared in crates/obs/src/footprint.rs but never \
+                     emitted from crates/core/src non-test code; every declared \
+                     action must record a flight-recorder event"
+                ),
+            });
         }
     }
     findings

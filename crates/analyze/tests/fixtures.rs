@@ -165,3 +165,31 @@ fn full_pipeline_fails_a_seeded_workspace_and_names_the_rules() {
         );
     }
 }
+
+#[test]
+fn missing_global_action_emit_site_is_flagged() {
+    use analyze::lint::lint_emit_coverage;
+    use megadc::footprint::ALL_ACTIONS;
+    let root = fixture_root("fx-emit");
+    // Emit sites for every action except VipTransfer; the lint must name
+    // exactly the missing one. A token inside a test module must not
+    // count as coverage.
+    let mut body = String::from(CLEAN_HEADER);
+    for a in ALL_ACTIONS {
+        if a.name() != "VipTransfer" {
+            body.push_str(&format!(
+                "pub fn emit_{}() {{ record(GlobalAction::{}); }}\n",
+                a.name().to_lowercase(),
+                a.name()
+            ));
+        }
+    }
+    body.push_str(
+        "#[cfg(test)]\nmod tests {\n    fn t() { record(GlobalAction::VipTransfer); }\n}\n",
+    );
+    write(&root, "crates/core/src/lib.rs", &body);
+    let findings = lint_emit_coverage(&root);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, "emit-coverage");
+    assert!(findings[0].message.contains("GlobalAction::VipTransfer"));
+}

@@ -4,23 +4,55 @@
 //! cargo run --release -p megadc-bench --bin expt -- all
 //! cargo run --release -p megadc-bench --bin expt -- e3 e4
 //! cargo run --release -p megadc-bench --bin expt -- --quick all
+//! cargo run --release -p megadc-bench --bin expt -- --events /tmp/e17.jsonl e17
+//! cargo run --release -p megadc-bench --bin expt -- --json e16 e17
 //! ```
+//!
+//! `--events <path>` truncates `path`, then appends the flight-recorder
+//! JSONL logs of every platform run the selected experiments perform
+//! (currently E16/E17; other experiments ignore it). The log is
+//! deterministic: rerunning the same command produces a byte-identical
+//! file, which CI checks. Inspect it with `cargo run -p obs -- explain`.
+//!
+//! `--json` prints one machine-readable summary line per experiment
+//! (`{"experiment":...,"metrics":{...}}`, stable key order) instead of
+//! the rendered table.
 
 #![forbid(unsafe_code)]
 
 use megadc_bench::{run_experiment, EXPERIMENTS};
+use std::path::PathBuf;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let mut events: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--events") {
+        if i + 1 >= args.len() {
+            eprintln!("--events requires a path argument");
+            std::process::exit(2);
+        }
+        events = Some(PathBuf::from(args.remove(i + 1)));
+        args.remove(i);
+    }
     if args.is_empty() {
         eprintln!(
-            "usage: expt [--quick] <{}..{} | all> ...",
+            "usage: expt [--quick] [--json] [--events <path>] <{}..{} | all> ...",
             EXPERIMENTS[0],
             EXPERIMENTS[EXPERIMENTS.len() - 1]
         );
         std::process::exit(2);
+    }
+    // Truncate once up front; experiments then append, so one invocation
+    // covering several experiments yields one concatenated log.
+    if let Some(path) = &events {
+        if let Err(e) = std::fs::File::create(path) {
+            eprintln!("cannot create event log {}: {e}", path.display());
+            std::process::exit(2);
+        }
     }
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
         EXPERIMENTS.iter().map(|s| s.to_string()).collect()
@@ -28,10 +60,14 @@ fn main() {
         args
     };
     for id in ids {
-        match run_experiment(&id, quick) {
+        match run_experiment(&id, quick, events.as_deref()) {
             Some(report) => {
-                println!("{}", "=".repeat(78));
-                println!("{report}");
+                if json {
+                    println!("{}", report.json_line());
+                } else {
+                    println!("{}", "=".repeat(78));
+                    println!("{}", report.text);
+                }
             }
             None => {
                 eprintln!(

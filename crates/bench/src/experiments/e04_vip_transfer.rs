@@ -14,6 +14,7 @@ use dcsim::table::{fnum, Table};
 use dcsim::SimDuration;
 use megadc::config::KnobFlags;
 use megadc::{Platform, PlatformConfig};
+use std::path::Path;
 use workload::FlashCrowd;
 
 /// Build the §IV.B situation: one switch "hosting VIPs of newly popular
@@ -73,8 +74,20 @@ struct Outcome {
     served_final: f64,
 }
 
-fn run_mode(stale_fraction: f64, transfers_on: bool, epochs: u64) -> Outcome {
+fn run_mode(
+    stale_fraction: f64,
+    transfers_on: bool,
+    epochs: u64,
+    events: Option<&Path>,
+) -> Outcome {
     let (mut p, hot_switch) = scenario(stale_fraction, transfers_on);
+    if let Some(path) = events {
+        let mode = if transfers_on { "on" } else { "off" };
+        let label = format!("e4/transfers-{mode}-stale-{stale_fraction}");
+        if let Some(sink) = super::open_event_sink(path, &label) {
+            p.global.recorder.set_sink(sink);
+        }
+    }
     let t0 = p.now();
     let mut peak = 0.0f64;
     let mut first_transfer = None;
@@ -101,7 +114,7 @@ fn run_mode(stale_fraction: f64, transfers_on: bool, epochs: u64) -> Outcome {
 }
 
 /// Run the VIP-transfer comparison.
-pub fn run(quick: bool) -> String {
+pub fn run(quick: bool, events: Option<&Path>) -> String {
     let epochs = if quick { 120 } else { 360 };
     let mut t = Table::new([
         "mode",
@@ -122,7 +135,7 @@ pub fn run(quick: bool) -> String {
         rows.push(("transfers on", sf, true));
     }
     for (label, sf, on) in rows {
-        let o = run_mode(sf, on, epochs);
+        let o = run_mode(sf, on, epochs, events);
         t.row([
             label.to_string(),
             fnum(sf, 2),
@@ -153,8 +166,8 @@ pub fn run(quick: bool) -> String {
 mod tests {
     #[test]
     fn transfers_reduce_final_utilization() {
-        let off = super::run_mode(0.15, false, 90);
-        let on = super::run_mode(0.15, true, 90);
+        let off = super::run_mode(0.15, false, 90, None);
+        let on = super::run_mode(0.15, true, 90, None);
         assert!(on.drains > 0);
         assert!(
             on.max_switch_util_final <= off.max_switch_util_final + 0.05,

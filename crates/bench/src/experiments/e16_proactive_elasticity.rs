@@ -16,9 +16,11 @@
 //! * **forecast MAPE** — mean absolute percentage error of the one-epoch
 //!   demand forecast (proactive runs only).
 
+use crate::Report;
 use dcsim::table::{fnum, Table};
 use dcsim::SimDuration;
 use megadc::{Platform, PlatformConfig};
+use std::path::Path;
 use workload::FlashCrowd;
 
 const OVERLOAD_THRESHOLD: f64 = 0.99;
@@ -42,21 +44,36 @@ pub(crate) enum Scenario {
     Diurnal,
 }
 
-pub(crate) fn run_one(scenario: Scenario, proactive: bool, epochs: u64) -> Outcome {
+pub(crate) fn run_one(
+    scenario: Scenario,
+    proactive: bool,
+    epochs: u64,
+    events: Option<&Path>,
+) -> Outcome {
     let mut cfg = PlatformConfig::small_test();
     cfg.seed = 1616;
     cfg.total_demand_bps = 0.5e9;
-    match scenario {
-        Scenario::FlashCrowd => cfg.diurnal_amplitude = 0.0,
+    let scenario_label = match scenario {
+        Scenario::FlashCrowd => {
+            cfg.diurnal_amplitude = 0.0;
+            "flash"
+        }
         Scenario::Diurnal => {
             cfg.diurnal_amplitude = 0.4;
             cfg.diurnal_period = SimDuration::from_secs(1200); // compressed day
+            "diurnal"
         }
-    }
+    };
     if proactive {
         cfg.elastic = elastic::ElasticConfig::proactive();
     }
     let mut p = Platform::build(cfg).expect("build");
+    if let Some(path) = events {
+        let plane = if proactive { "proactive" } else { "reactive" };
+        if let Some(sink) = super::open_event_sink(path, &format!("e16/{scenario_label}-{plane}")) {
+            p.global.recorder.set_sink(sink);
+        }
+    }
     p.run_epochs(10);
     if let Scenario::FlashCrowd = scenario {
         let victim = p.workload.apps_by_popularity()[0];
@@ -106,7 +123,7 @@ fn fmt_mape(m: Option<f64>) -> String {
 }
 
 /// Run the comparison.
-pub fn run(quick: bool) -> String {
+pub fn report(quick: bool, events: Option<&Path>) -> Report {
     let epochs = if quick { 90 } else { 180 };
     let scenarios: [(&str, Scenario); 2] = [
         ("flash crowd 8x", Scenario::FlashCrowd),
@@ -121,9 +138,13 @@ pub fn run(quick: bool) -> String {
         "deployments",
         "forecast MAPE",
     ]);
+    let mut flash = Vec::new();
     for (label, scenario) in scenarios {
         for proactive in [false, true] {
-            let o = run_one(scenario, proactive, epochs);
+            let o = run_one(scenario, proactive, epochs, events);
+            if matches!(scenario, Scenario::FlashCrowd) {
+                flash.push(o);
+            }
             t.row([
                 label.to_string(),
                 if proactive { "proactive" } else { "reactive" }.to_string(),
@@ -135,7 +156,7 @@ pub fn run(quick: bool) -> String {
             ]);
         }
     }
-    format!(
+    let text = format!(
         "E16 — reactive vs proactive elasticity ({epochs} epochs, identical seeds)\n\n{}\n\
          expected shape: on the flash crowd the proactive plane deploys ahead of\n\
          the ramp (Holt trend forecast, 3-epoch horizon), so overload epochs and\n\
@@ -145,7 +166,29 @@ pub fn run(quick: bool) -> String {
          cycle forecasting is easy (low MAPE) and both planes serve ~everything;\n\
          the proactive run simply tracks the cycle with slightly earlier slices.\n",
         t.render(),
-    )
+    );
+    // flash[0] = reactive, flash[1] = proactive (loop order above).
+    Report::text_only("e16", text)
+        .metric("epochs", epochs as f64)
+        .metric(
+            "flash_reactive_overload_epochs",
+            flash[0].overload_epochs as f64,
+        )
+        .metric(
+            "flash_proactive_overload_epochs",
+            flash[1].overload_epochs as f64,
+        )
+        .metric(
+            "flash_reactive_time_to_relief",
+            flash[0].time_to_relief as f64,
+        )
+        .metric(
+            "flash_proactive_time_to_relief",
+            flash[1].time_to_relief as f64,
+        )
+        .metric("flash_reactive_deployments", flash[0].deployments as f64)
+        .metric("flash_proactive_deployments", flash[1].deployments as f64)
+        .metric("flash_proactive_mape", flash[1].mape.unwrap_or(f64::NAN))
 }
 
 #[cfg(test)]
@@ -154,8 +197,8 @@ mod tests {
 
     #[test]
     fn proactive_strictly_improves_flash_crowd_relief() {
-        let reactive = run_one(Scenario::FlashCrowd, false, 90);
-        let proactive = run_one(Scenario::FlashCrowd, true, 90);
+        let reactive = run_one(Scenario::FlashCrowd, false, 90, None);
+        let proactive = run_one(Scenario::FlashCrowd, true, 90, None);
         assert!(
             proactive.overload_epochs < reactive.overload_epochs,
             "overload epochs: proactive {} vs reactive {}",
@@ -179,8 +222,8 @@ mod tests {
 
     #[test]
     fn outcomes_are_bit_identical_for_fixed_seed() {
-        let a = run_one(Scenario::FlashCrowd, true, 40);
-        let b = run_one(Scenario::FlashCrowd, true, 40);
+        let a = run_one(Scenario::FlashCrowd, true, 40, None);
+        let b = run_one(Scenario::FlashCrowd, true, 40, None);
         assert_eq!(a, b);
     }
 }

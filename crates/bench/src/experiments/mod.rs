@@ -18,27 +18,60 @@ pub mod e15_session_quiescence;
 pub mod e16_proactive_elasticity;
 pub mod e17_misrouting_equilibrium;
 
-/// Run one experiment by id (`"e1"` … `"e17"`), returning its rendered
-/// report. `quick` shrinks sweeps for CI.
-pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
+use crate::Report;
+use std::path::Path;
+
+/// Open `path` for append and write one `{"run":<label>}` header line,
+/// returning the handle to hand to `obs::Recorder::set_sink`. Sink
+/// failures degrade the event log, never the experiment: on error this
+/// warns and returns `None`.
+pub(crate) fn open_event_sink(path: &Path, label: &str) -> Option<std::fs::File> {
+    use std::io::Write as _;
+    let mut file = match std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("warning: cannot open event log {}: {e}", path.display());
+            return None;
+        }
+    };
+    let mut header = String::from("{\"run\":");
+    obs::json::write_str(label, &mut header);
+    header.push('}');
+    if let Err(e) = writeln!(file, "{header}") {
+        eprintln!("warning: cannot write event log {}: {e}", path.display());
+        return None;
+    }
+    Some(file)
+}
+
+/// Run one experiment by id (`"e1"` … `"e17"`). `quick` shrinks sweeps
+/// for CI. `events`, when set, appends the flight-recorder logs of the
+/// experiment's platform runs to that JSONL file (one `{"run":...}`
+/// header per platform; supported by the platform-driving experiments —
+/// currently E4, E16 and E17 — and ignored by the rest).
+pub fn run_experiment(id: &str, quick: bool, events: Option<&Path>) -> Option<Report> {
     Some(match id {
-        "e1" => e01_placement_scaling::run(quick),
-        "e2" => e02_fabric_sizing::run(quick),
-        "e3" => e03_link_balancing::run(quick),
-        "e4" => e04_vip_transfer::run(quick),
-        "e5" => e05_pod_decision_time::run(quick),
-        "e6" => e06_knob_mixes::run(quick),
-        "e7" => e07_agility_ladder::run(quick),
-        "e8" => e08_vips_per_app::run(quick),
-        "e9" => e09_lb_layer_load::run(quick),
-        "e10" => e10_decision_space::run(quick),
-        "e11" => e11_two_layer::run(quick),
-        "e12" => e12_viprip_queue::run(quick),
-        "e13" => e13_failures::run(quick),
-        "e14" => e14_energy::run(quick),
-        "e15" => e15_session_quiescence::run(quick),
-        "e16" => e16_proactive_elasticity::run(quick),
-        "e17" => e17_misrouting_equilibrium::run(quick),
+        "e1" => Report::text_only(id, e01_placement_scaling::run(quick)),
+        "e2" => Report::text_only(id, e02_fabric_sizing::run(quick)),
+        "e3" => Report::text_only(id, e03_link_balancing::run(quick)),
+        "e4" => Report::text_only(id, e04_vip_transfer::run(quick, events)),
+        "e5" => Report::text_only(id, e05_pod_decision_time::run(quick)),
+        "e6" => Report::text_only(id, e06_knob_mixes::run(quick)),
+        "e7" => Report::text_only(id, e07_agility_ladder::run(quick)),
+        "e8" => Report::text_only(id, e08_vips_per_app::run(quick)),
+        "e9" => Report::text_only(id, e09_lb_layer_load::run(quick)),
+        "e10" => Report::text_only(id, e10_decision_space::run(quick)),
+        "e11" => Report::text_only(id, e11_two_layer::run(quick)),
+        "e12" => Report::text_only(id, e12_viprip_queue::run(quick)),
+        "e13" => Report::text_only(id, e13_failures::run(quick)),
+        "e14" => Report::text_only(id, e14_energy::run(quick)),
+        "e15" => Report::text_only(id, e15_session_quiescence::run(quick)),
+        "e16" => e16_proactive_elasticity::report(quick, events),
+        "e17" => e17_misrouting_equilibrium::report(quick, events),
         _ => return None,
     })
 }

@@ -38,10 +38,12 @@
 use crate::demand::LoadSnapshot;
 use crate::ids::{AppId, PodId};
 use crate::state::PlatformState;
-use crate::viprip::{Priority, Request, VipRipManager};
+use crate::viprip::{Priority, Request, Response, VipRipManager};
 use dcsim::SimTime;
 use elastic::{headroom_pressure, waterfill_weights, GroupForecaster};
 use lbswitch::{SwitchId, VipAddr};
+use obs::footprint::GlobalAction;
+use obs::{ActionKind, Actor};
 use std::collections::{BTreeMap, BTreeSet};
 use vmm::{ServerId, VmId, VmState};
 
@@ -95,6 +97,12 @@ pub struct GlobalManager {
     pub viprip: VipRipManager,
     /// Knob actuation counters.
     pub counters: KnobCounters,
+    /// The control-plane flight recorder: every knob actuation, queue
+    /// apply and pod/proactive decision is emitted as a structured,
+    /// sim-clock-stamped [`obs::Event`] (ring buffer + optional JSONL
+    /// sink). The platform stamps it each epoch via
+    /// [`obs::Recorder::begin_epoch`].
+    pub recorder: obs::Recorder,
     draining: BTreeMap<VipAddr, Drain>,
     pending_deployments: Vec<PendingDeployment>,
     /// Infrastructure-level forecasters (always on, reactive mode
@@ -168,10 +176,53 @@ impl GlobalManager {
         if knobs.elephant_relief {
             self.avoid_elephants(state);
         }
-        self.viprip.process_all(state);
+        for (req, resp) in self.viprip.process_all(state) {
+            self.record_queue_apply(&req, &resp);
+        }
         // The queued retires have been executed (or rejected); the epoch's
         // exposure decisions no longer need to mask them.
         self.pending_retires.clear();
+    }
+
+    /// Record one serialized-queue apply result in the flight recorder
+    /// (actor [`Actor::Queue`] — apply-time ordering is exactly what the
+    /// §III.C safety argument rests on, so the audit trail keeps it).
+    pub(crate) fn record_queue_apply(&mut self, req: &Request, resp: &Response) {
+        let (req_name, app, vm, vip, pod) = match req {
+            Request::NewVip { app } => ("NewVip", Some(app.0), None, None, None),
+            Request::NewRip { app, vm, .. } => ("NewRip", Some(app.0), Some(vm.0), None, None),
+            Request::DeleteRip { vm } => ("DeleteRip", None, Some(vm.0), None, None),
+            Request::SetWeight { vm, .. } => ("SetWeight", None, Some(vm.0), None, None),
+            Request::AdjustPodWeights { pod, vip, .. } => {
+                ("AdjustPodWeights", None, None, Some(vip.0), Some(pod.0))
+            }
+        };
+        let (resp_name, resp_vip, switch) = match resp {
+            Response::VipAllocated(v, sw) => ("VipAllocated", Some(v.0), Some(sw.0)),
+            Response::RipBound(_, v) => ("RipBound", Some(v.0), None),
+            Response::Done => ("Done", None, None),
+            Response::Failed(_) => ("Failed", None, None),
+        };
+        let mut b = self
+            .recorder
+            .event(Actor::Queue, ActionKind::QueueApply)
+            .note(&format!("{req_name} -> {resp_name}"));
+        if let Some(a) = app {
+            b = b.app(a);
+        }
+        if let Some(v) = vm {
+            b = b.vm(v);
+        }
+        if let Some(v) = vip.or(resp_vip) {
+            b = b.vip(v);
+        }
+        if let Some(p) = pod {
+            b = b.pod(p);
+        }
+        if let Some(sw) = switch {
+            b = b.switch(sw);
+        }
+        b.commit();
     }
 
     // ---- infrastructure forecasting (pods + access links) ------------------
@@ -218,11 +269,25 @@ impl GlobalManager {
         if self.pending_retires.contains(&vm) {
             return false; // already queued this epoch
         }
-        if self.live_rip_count(state, rec.vip) <= 1 {
+        let live = self.live_rip_count(state, rec.vip);
+        if live <= 1 {
             return false;
         }
+        let app = state.vip(rec.vip).map(|v| v.app);
+        let before = self.pending_retires.len();
         self.pending_retires.insert(vm);
         self.viprip.submit(Priority::Low, Request::DeleteRip { vm });
+        let mut ev = self
+            .recorder
+            .event(Actor::Global, ActionKind::Global(GlobalAction::QueueRetire))
+            .vm(vm.0)
+            .vip(rec.vip.0);
+        if let Ok(app) = app {
+            ev = ev.app(app.0);
+        }
+        ev.input("rip_set.live_rips", live as f64)
+            .delta("pending_retires.count", before as f64, (before + 1) as f64)
+            .commit();
         true
     }
 
@@ -270,7 +335,7 @@ impl GlobalManager {
             })
             .collect();
         worst.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-        for (app, _) in worst.into_iter().take(MAX_APPS_PER_EPOCH) {
+        for (app, frac) in worst.into_iter().take(MAX_APPS_PER_EPOCH) {
             if self.app_is_draining(state, app) {
                 continue;
             }
@@ -296,13 +361,37 @@ impl GlobalManager {
                 let published = state.dns.published_shares(app.dns_key());
                 let already = published.len() == 1 && published[0].0 == covered[0];
                 if !already {
+                    let before = published.len();
                     state.dns.set_exposure(app.dns_key(), weights, now);
                     self.counters.exposure_updates += 1;
+                    self.recorder
+                        .event(
+                            Actor::Global,
+                            ActionKind::Global(GlobalAction::ExposureRefresh),
+                        )
+                        .app(app.0)
+                        .note("single-survivor reset")
+                        .input("load.unserved_frac", frac)
+                        .input("rip_set.covered_vips", 1.0)
+                        .delta("dns_exposure.vips", before as f64, 1.0)
+                        .commit();
                 }
                 continue;
             }
+            let before = state.dns.published_shares(app.dns_key()).len();
             state.dns.set_exposure(app.dns_key(), weights, now);
             self.counters.exposure_updates += 1;
+            self.recorder
+                .event(
+                    Actor::Global,
+                    ActionKind::Global(GlobalAction::ExposureRefresh),
+                )
+                .app(app.0)
+                .note("capacity-proportional")
+                .input("load.unserved_frac", frac)
+                .input("rip_set.covered_vips", covered.len() as f64)
+                .delta("dns_exposure.vips", before as f64, covered.len() as f64)
+                .commit();
         }
     }
 
@@ -420,11 +509,40 @@ impl GlobalManager {
                     let router = state.access.links()[cold].access_router;
                     state.advertise_vip(v, router, now).expect("VIP exists");
                     self.counters.vip_readvertisements += 1;
+                    self.recorder
+                        .event(
+                            Actor::Global,
+                            ActionKind::Global(GlobalAction::ExposureRefresh),
+                        )
+                        .app(app.0)
+                        .vip(v.0)
+                        .link(cold as u32)
+                        .note("readvertise unused VIP at cold link")
+                        .input("load.link_util_max", hot_util)
+                        .delta("dns_records.adverts", 0.0, 1.0)
+                        .commit();
                 }
                 continue;
             }
+            let exposed_before = state.dns.published_shares(app.dns_key()).len();
+            let exposed_after = weights.iter().filter(|&&(_, w)| w > 0.0).count();
             state.dns.set_exposure(app.dns_key(), weights, now);
             self.counters.exposure_updates += 1;
+            self.recorder
+                .event(
+                    Actor::Global,
+                    ActionKind::Global(GlobalAction::ExposureRefresh),
+                )
+                .app(app.0)
+                .link(hot_link as u32)
+                .note("shift exposure off hot link")
+                .input("load.link_util_max", hot_util)
+                .delta(
+                    "dns_exposure.vips",
+                    exposed_before as f64,
+                    exposed_after as f64,
+                )
+                .commit();
         }
     }
 
@@ -445,12 +563,34 @@ impl GlobalManager {
                 match state.transfer_vip(vip, drain.target) {
                     Ok(()) => {
                         self.counters.vip_transfers_completed += 1;
+                        self.recorder
+                            .event(Actor::Global, ActionKind::Global(GlobalAction::VipTransfer))
+                            .vip(vip.0)
+                            .app(app.0)
+                            .switch(drain.target.0)
+                            .note("transfer-complete")
+                            .input("dns_exposure.share", share)
+                            .input("cfg.quiescence_share", state.config.quiescence_share)
+                            .delta(
+                                "switch_vip_table.switch",
+                                rec.switch.0 as f64,
+                                drain.target.0 as f64,
+                            )
+                            .commit();
                         self.restore_exposure(state, app, now);
                         self.draining.remove(&vip);
                     }
                     Err(_) => {
                         // Destination filled up meanwhile: abort.
                         self.counters.vip_drains_aborted += 1;
+                        self.recorder
+                            .event(Actor::Global, ActionKind::Global(GlobalAction::VipTransfer))
+                            .vip(vip.0)
+                            .app(app.0)
+                            .switch(drain.target.0)
+                            .note("abort-target-full")
+                            .input("dns_exposure.share", share)
+                            .commit();
                         self.restore_exposure(state, app, now);
                         self.draining.remove(&vip);
                     }
@@ -458,6 +598,14 @@ impl GlobalManager {
             } else if now.since(drain.started) > state.config.dns.stale_half_life * 4 {
                 // TTL violators are holding on too long: give up.
                 self.counters.vip_drains_aborted += 1;
+                self.recorder
+                    .event(Actor::Global, ActionKind::Global(GlobalAction::VipTransfer))
+                    .vip(vip.0)
+                    .app(app.0)
+                    .switch(drain.target.0)
+                    .note("abort-timeout")
+                    .input("dns_exposure.share", share)
+                    .commit();
                 self.restore_exposure(state, app, now);
                 self.draining.remove(&vip);
             }
@@ -478,7 +626,7 @@ impl GlobalManager {
             .map(|(i, &u)| (i, u))
             .collect();
         hot.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-        for (sw_idx, _) in hot {
+        for (sw_idx, sw_util) in hot {
             if started >= self.max_transfers_per_epoch
                 || self.draining.len() >= self.max_transfers_per_epoch
             {
@@ -531,6 +679,8 @@ impl GlobalManager {
                         (v, w)
                     })
                     .collect();
+                let exposed_before = state.dns.published_shares(app.dns_key()).len();
+                let exposed_after = weights.iter().filter(|&&(_, w)| w > 0.0).count();
                 state.dns.set_exposure(app.dns_key(), weights, now);
                 self.draining.insert(
                     vip,
@@ -540,6 +690,20 @@ impl GlobalManager {
                     },
                 );
                 self.counters.vip_drains_started += 1;
+                self.recorder
+                    .event(Actor::Global, ActionKind::Global(GlobalAction::VipTransfer))
+                    .vip(vip.0)
+                    .app(app.0)
+                    .switch(sw_idx as u32)
+                    .note("drain-start")
+                    .input("load.switch_util", sw_util)
+                    .input("load.vip_offered_bps", offered)
+                    .delta(
+                        "dns_exposure.vips",
+                        exposed_before as f64,
+                        exposed_after as f64,
+                    )
+                    .commit();
                 started += 1;
                 break;
             }
@@ -673,13 +837,38 @@ impl GlobalManager {
                 .iter()
                 .map(|&v| (v, self.capacity_weight(state, v)))
                 .collect();
-            if weights.iter().any(|&(_, w)| w > 0.0) {
+            let exposed_before = state.dns.published_shares(app.dns_key()).len();
+            let exposed_after = weights.iter().filter(|&&(_, w)| w > 0.0).count();
+            if exposed_after > 0 {
                 state.dns.set_exposure(app.dns_key(), weights, now);
                 self.counters.exposure_updates += 1;
                 acted = true;
             }
             if acted {
                 self.counters.misrouting_escapes += 1;
+                let streak = self.starved_epochs.get(&vip).copied().unwrap_or(0);
+                let offered = snap.vip_demand_bps.get(&vip).copied().unwrap_or(0.0);
+                let served = snap.vip_served_bps.get(&vip).copied().unwrap_or(0.0);
+                self.recorder
+                    .event(
+                        Actor::Global,
+                        ActionKind::Global(GlobalAction::MisroutingEscape),
+                    )
+                    .vip(vip.0)
+                    .app(app.0)
+                    .input("ctl.starved_epochs", streak as f64)
+                    .input(
+                        "load.served_ratio",
+                        if offered > 0.0 { served / offered } else { 0.0 },
+                    )
+                    .input("vm_fleet.capacity_cpu", capacity_cpu)
+                    .input("load.demand_cpu", demand_cpu)
+                    .delta(
+                        "dns_exposure.vips",
+                        exposed_before as f64,
+                        exposed_after as f64,
+                    )
+                    .commit();
                 // The streak is NOT reset here: while the VIP stays below
                 // the starvation ratio the escape keeps stepping every
                 // epoch, so the water-fill converges geometrically to its
@@ -719,13 +908,31 @@ impl GlobalManager {
         let pressure = headroom_pressure(&capacity, &utils);
         let target = waterfill_weights(&current, &pressure, step);
         let mut touched = false;
-        for (&(vm, _, w, _), &nw) in entries.iter().zip(&target) {
+        let mut applied = current.clone();
+        for (i, (&(vm, _, w, _), &nw)) in entries.iter().zip(&target).enumerate() {
             let nw = nw.max(0.01);
             if (nw - w).abs() > 1e-6 * w.abs().max(1.0) {
                 self.viprip
                     .submit(Priority::High, Request::SetWeight { vm, weight: nw });
+                applied[i] = nw;
                 touched = true;
             }
+        }
+        if touched {
+            let before_max = current.iter().copied().fold(0.0, f64::max);
+            let after_max = applied.iter().copied().fold(0.0, f64::max);
+            self.recorder
+                .event(Actor::Global, ActionKind::Global(GlobalAction::Reweight))
+                .vip(vip.0)
+                .input("switch_vip_table.weight_total", current.iter().sum())
+                .input("vm_fleet.slice_total", capacity.iter().sum())
+                .input(
+                    "forecast.pod_util_max",
+                    utils.iter().copied().fold(0.0, f64::max),
+                )
+                .input("cfg.reweight_step", step)
+                .delta("rip_weights.max", before_max, after_max)
+                .commit();
         }
         touched
     }
@@ -878,6 +1085,17 @@ impl GlobalManager {
             if let Ok(vm) = state.fleet.clone_vm(src, target, now) {
                 self.pending_deployments.push(PendingDeployment { vm, app });
                 self.counters.deployments_started += 1;
+                self.recorder
+                    .event(Actor::Global, ActionKind::Global(GlobalAction::Deployment))
+                    .app(app.0)
+                    .vm(vm.0)
+                    .pod(cold.0)
+                    .server(target.0)
+                    .note("clone-started")
+                    .input("load.app_cpu_offered", load)
+                    .input("vm_fleet.src_vm", src.0 as f64)
+                    .delta("vm_fleet.clones_started", 0.0, 1.0)
+                    .commit();
             }
         }
     }
@@ -898,6 +1116,13 @@ impl GlobalManager {
                         },
                     );
                     self.counters.deployments_completed += 1;
+                    self.recorder
+                        .event(Actor::Global, ActionKind::Global(GlobalAction::Deployment))
+                        .app(pd.app.0)
+                        .vm(pd.vm.0)
+                        .note("rip-bind queued")
+                        .delta("rip_set.queued_newrips", 0.0, 1.0)
+                        .commit();
                 }
                 Ok(_) => still_pending.push(pd),
                 Err(_) => {} // destroyed meanwhile
@@ -927,11 +1152,27 @@ impl GlobalManager {
             .take(2) // bounded per epoch
             .collect();
         for s in vacant {
-            if state.pod_servers(donor).len() <= 1 {
+            let donor_before = state.pod_servers(donor).len();
+            if donor_before <= 1 {
                 break;
             }
+            let recip_before = state.pod_servers(recipient).len();
             state.move_server_to_pod(s, recipient);
             self.counters.server_transfers += 1;
+            self.recorder
+                .event(
+                    Actor::Global,
+                    ActionKind::Global(GlobalAction::ServerTransfer),
+                )
+                .pod(recipient.0)
+                .server(s.0)
+                .input("pod_membership.donor_servers", donor_before as f64)
+                .delta(
+                    "pod_membership.recipient_servers",
+                    recip_before as f64,
+                    (recip_before + 1) as f64,
+                )
+                .commit();
         }
     }
 
@@ -963,7 +1204,8 @@ impl GlobalManager {
                 .take(to_move)
                 .collect();
             for s in movers {
-                if state.pod_servers(pod).len() <= 1 {
+                let size_before = state.pod_servers(pod).len();
+                if size_before <= 1 {
                     break;
                 }
                 // Receiving pod: the smallest pod that still has headroom
@@ -977,6 +1219,21 @@ impl GlobalManager {
                     .unwrap_or_else(|| state.create_pod());
                 state.move_server_to_pod(s, recipient);
                 self.counters.elephant_evictions += 1;
+                self.recorder
+                    .event(
+                        Actor::Global,
+                        ActionKind::Global(GlobalAction::ElephantRelief),
+                    )
+                    .pod(pod.0)
+                    .server(s.0)
+                    .input("pod_membership.servers", size_before as f64)
+                    .input("cfg.pod_max_servers", cfg.pod_max_servers as f64)
+                    .delta(
+                        "pod_membership.servers",
+                        size_before as f64,
+                        (size_before - 1) as f64,
+                    )
+                    .commit();
             }
         }
     }

@@ -55,7 +55,6 @@
 pub mod config;
 pub mod demand;
 pub mod energy;
-pub mod footprint;
 pub mod global;
 pub mod ids;
 pub mod platform;
@@ -65,6 +64,13 @@ pub mod sizing;
 pub mod state;
 pub mod twolayer;
 pub mod viprip;
+
+/// The declared read/write footprints of the global-manager actions.
+///
+/// Moved to the `obs` crate (PR 4) so the runtime flight recorder and
+/// the `analyze` conflict checker share one source of truth; re-exported
+/// here to keep the `megadc::footprint` path stable.
+pub use obs::footprint;
 
 pub use config::PlatformConfig;
 pub use ids::{AppId, PodId};

@@ -27,7 +27,8 @@ use crate::state::PlatformState;
 use crate::viprip::{Priority, Request, Response};
 use dcsim::metrics::{Counter, Samples, TimeSeries};
 use dcsim::SimTime;
-use elastic::{AppObservation, ElasticController, ProposedAction};
+use elastic::{AppObservation, ElasticController, KnobRequest, ProposedAction};
+use obs::{ActionKind, Actor};
 use rayon::prelude::*;
 use vmm::{VmId, VmState};
 use workload::Workload;
@@ -280,6 +281,9 @@ impl Platform {
     pub fn step(&mut self) -> LoadSnapshot {
         self.now += self.state.config.epoch;
         let now = self.now;
+        // Stamp the flight recorder: every event committed until the next
+        // `begin_epoch` carries this epoch index and sim-clock time.
+        self.global.recorder.begin_epoch(self.epochs, now);
         self.state.fleet.complete_transitions(now);
 
         // Demand for this epoch.
@@ -327,15 +331,32 @@ impl Platform {
         }
 
         // Metrics.
+        let link_max = max_of(&snap.link_utilizations(&self.state));
+        let switch_max = max_of(&snap.switch_utilizations(&self.state));
+        let pod_max = max_of(&snap.pod_utilizations(&self.state));
+        let served = snap.served_fraction();
         let m = &mut self.metrics;
-        m.link_util_max
-            .record(now, max_of(&snap.link_utilizations(&self.state)));
+        m.link_util_max.record(now, link_max);
         m.link_fairness.record(now, snap.link_fairness(&self.state));
-        m.switch_util_max
-            .record(now, max_of(&snap.switch_utilizations(&self.state)));
-        m.pod_util_max
-            .record(now, max_of(&snap.pod_utilizations(&self.state)));
-        m.served_fraction.record(now, snap.served_fraction());
+        m.switch_util_max.record(now, switch_max);
+        m.pod_util_max.record(now, pod_max);
+        m.served_fraction.record(now, served);
+
+        // Close the epoch in the flight recorder: one health event rolling
+        // up per-kind action counts plus the epoch's headline load levels.
+        let reconfigs: u64 = self
+            .state
+            .switches
+            .iter()
+            .map(|sw| sw.reconfigurations())
+            .sum();
+        self.global.recorder.emit_epoch_health(&[
+            ("load.served_fraction", served),
+            ("load.link_util_max", link_max),
+            ("load.switch_util_max", switch_max),
+            ("load.pod_util_max", pod_max),
+            ("switch_vip_table.reconfigs", reconfigs as f64),
+        ]);
 
         self.epochs += 1;
         self.last_snapshot = Some(snap.clone());
@@ -404,15 +425,18 @@ impl Platform {
         }
         let pod_utils = snap.pod_utilizations(&self.state);
         for req in actions {
-            self.apply_proactive(req.action, &pod_utils, now);
+            self.apply_proactive(req, &pod_utils, now);
         }
     }
 
     /// Actuate one arbitrated proactive action through the same
-    /// mechanisms the reactive knobs use.
-    fn apply_proactive(&mut self, action: ProposedAction, pod_utils: &[f64], now: SimTime) {
-        let m = &mut self.metrics;
-        match action {
+    /// mechanisms the reactive knobs use. The whole [`KnobRequest`] is
+    /// taken (not just its action) so the flight-recorder events carry
+    /// the arbiter's urgency and cost — the decision inputs an `explain`
+    /// of a proactive scale event needs.
+    fn apply_proactive(&mut self, req: KnobRequest, pod_utils: &[f64], now: SimTime) {
+        let (urgency, cost) = (req.urgency, req.cost);
+        match req.action {
             // §IV.F ahead of time: water-fill the app's RIP weights
             // toward slice × predicted-headroom targets across *all*
             // covered pods (the same law the global manager's pod relief
@@ -430,12 +454,21 @@ impl Platform {
                     .global
                     .waterfill_app(&self.state, AppId(app), &utils, step)
                 {
-                    m.proactive_reweights.incr();
+                    self.metrics.proactive_reweights.incr();
+                    self.global
+                        .recorder
+                        .event(Actor::Elastic, ActionKind::ProactiveReweight)
+                        .app(app)
+                        .input("forecast.urgency", urgency)
+                        .input("ctl.cost", cost)
+                        .input("cfg.reweight_step", step)
+                        .commit();
                 }
             }
             // §IV.E ahead of time: walk every serving instance toward the
             // target slice (transient failures replan next epoch).
             ProposedAction::SliceAdjust { app, target_slice } => {
+                let mut adjusted = 0u64;
                 for vm in self.state.fleet.vms_of_app(app) {
                     let Ok(rec) = self.state.fleet.vm(vm) else {
                         continue;
@@ -444,8 +477,20 @@ impl Platform {
                         continue;
                     }
                     if self.state.fleet.adjust_slice(vm, target_slice).is_ok() {
-                        m.proactive_slice_adjustments.incr();
+                        self.metrics.proactive_slice_adjustments.incr();
+                        adjusted += 1;
                     }
+                }
+                if adjusted > 0 {
+                    self.global
+                        .recorder
+                        .event(Actor::Elastic, ActionKind::SliceAdjust)
+                        .app(app)
+                        .input("forecast.urgency", urgency)
+                        .input("ctl.cost", cost)
+                        .input("cfg.target_slice", target_slice)
+                        .delta("vm_fleet.slices_adjusted", 0.0, adjusted as f64)
+                        .commit();
                 }
             }
             // §IV.D ahead of time: clone into the coldest pods with room.
@@ -487,10 +532,22 @@ impl Platform {
                             continue;
                         }
                         if self.state.fleet.clone_vm(src, srv, now).is_ok() {
-                            m.proactive_deployments.incr();
+                            self.metrics.proactive_deployments.incr();
                             remaining -= 1;
                         }
                     }
+                }
+                let deployed = instances - remaining;
+                if deployed > 0 {
+                    self.global
+                        .recorder
+                        .event(Actor::Elastic, ActionKind::ProactiveDeploy)
+                        .app(app)
+                        .input("forecast.urgency", urgency)
+                        .input("ctl.cost", cost)
+                        .input("ctl.requested_instances", instances as f64)
+                        .delta("vm_fleet.clones_started", 0.0, deployed as f64)
+                        .commit();
                 }
             }
             // Scale-in: retire the newest serving instances first (they
@@ -521,9 +578,21 @@ impl Platform {
                         break;
                     }
                     if self.global.queue_retire(&self.state, vm) {
-                        m.proactive_retirements.incr();
+                        self.metrics.proactive_retirements.incr();
                         remaining -= 1;
                     }
+                }
+                let retired = instances as usize - remaining;
+                if retired > 0 {
+                    self.global
+                        .recorder
+                        .event(Actor::Elastic, ActionKind::ProactiveRetire)
+                        .app(app)
+                        .input("forecast.urgency", urgency)
+                        .input("ctl.cost", cost)
+                        .input("ctl.requested_instances", instances as f64)
+                        .delta("vm_fleet.retires_queued", 0.0, retired as f64)
+                        .commit();
                 }
             }
         }
@@ -531,12 +600,18 @@ impl Platform {
 
     fn apply_pod_plan(&mut self, plan: PodPlan, now: SimTime) {
         let knobs = self.state.config.knobs;
-        let m = &mut self.metrics;
-        m.decision_times.record(plan.decision_time.as_secs_f64());
-        m.placement_changes.add(plan.placement_changes as u64);
+        self.metrics
+            .decision_times
+            .record(plan.decision_time.as_secs_f64());
+        self.metrics
+            .placement_changes
+            .add(plan.placement_changes as u64);
         if !knobs.pod_slices && !knobs.pod_instances {
             return; // static provisioning baseline
         }
+        let mut slices = 0u64;
+        let mut starts = 0u64;
+        let mut stops = 0u64;
         for (vm, cpu) in if knobs.pod_slices {
             plan.slice_adjustments
         } else {
@@ -545,7 +620,8 @@ impl Platform {
             // May fail transiently when a co-resident VM grew first; the
             // next round replans around it.
             if self.state.fleet.adjust_slice(vm, cpu).is_ok() {
-                m.slice_adjustments.incr();
+                self.metrics.slice_adjustments.incr();
+                slices += 1;
             }
         }
         for (app, server, cpu) in if knobs.pod_instances {
@@ -571,8 +647,18 @@ impl Platform {
                     now,
                 ),
             };
-            if created.is_ok() {
-                m.instance_starts.incr();
+            if let Ok(vm) = created {
+                self.metrics.instance_starts.incr();
+                starts += 1;
+                self.global
+                    .recorder
+                    .event(Actor::Pod(plan.pod.0), ActionKind::InstanceStart)
+                    .app(app.0)
+                    .vm(vm.0)
+                    .server(server.0)
+                    .pod(plan.pod.0)
+                    .input("ctl.requested_cpu", cpu)
+                    .commit();
             }
         }
         for vm in if knobs.pod_instances {
@@ -584,9 +670,11 @@ impl Platform {
             // drain a VIP's last live RIP and keeps the doomed RIP out of
             // same-epoch exposure decisions (the retire × transfer race).
             if self.global.queue_retire(&self.state, vm) {
-                m.instance_stops.incr();
+                self.metrics.instance_stops.incr();
+                stops += 1;
             }
         }
+        let weight_requests = plan.weight_requests.len() as u64;
         for (vip, weights) in plan.weight_requests {
             self.global.viprip.submit(
                 Priority::Normal,
@@ -596,6 +684,23 @@ impl Platform {
                     weights,
                 },
             );
+        }
+        // One summary event per pod round that decided anything, so the
+        // audit trail shows each pod manager's actuation mix alongside the
+        // Tang-controller problem size it solved.
+        if plan.placement_changes > 0 || slices + starts + stops + weight_requests > 0 {
+            self.global
+                .recorder
+                .event(Actor::Pod(plan.pod.0), ActionKind::PodPlan)
+                .pod(plan.pod.0)
+                .input("ctl.placement_changes", plan.placement_changes as f64)
+                .input("ctl.problem_servers", plan.problem_size.0 as f64)
+                .input("ctl.problem_vms", plan.problem_size.1 as f64)
+                .input("ctl.weight_requests", weight_requests as f64)
+                .delta("vm_fleet.slices_adjusted", 0.0, slices as f64)
+                .delta("vm_fleet.instance_starts", 0.0, starts as f64)
+                .delta("vm_fleet.instance_stops", 0.0, stops as f64)
+                .commit();
         }
     }
 
@@ -624,7 +729,9 @@ impl Platform {
                 },
             );
         }
-        self.global.viprip.process_all(&mut self.state);
+        for (req, resp) in self.global.viprip.process_all(&mut self.state) {
+            self.global.record_queue_apply(&req, &resp);
+        }
     }
 
     /// Run `n` epochs and summarize.

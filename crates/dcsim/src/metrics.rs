@@ -37,10 +37,33 @@ impl Counter {
     }
 }
 
+/// An out-of-order [`TimeSeries::try_record`]: the attempted timestamp
+/// precedes the last recorded one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeTravel {
+    /// Timestamp of the series' last point.
+    pub last: SimTime,
+    /// The earlier timestamp the caller attempted to record.
+    pub attempted: SimTime,
+}
+
+impl std::fmt::Display for TimeTravel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TimeSeries timestamps must be non-decreasing (last {:?}, attempted {:?})",
+            self.last, self.attempted
+        )
+    }
+}
+
+impl std::error::Error for TimeTravel {}
+
 /// A time-stamped series of observations of one quantity.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
+    clamped: u64,
 }
 
 impl TimeSeries {
@@ -49,12 +72,37 @@ impl TimeSeries {
         Self::default()
     }
 
-    /// Record `value` at time `t`. Timestamps must be non-decreasing.
-    pub fn record(&mut self, t: SimTime, value: f64) {
+    /// Record `value` at time `t`, requiring non-decreasing timestamps.
+    /// An out-of-order timestamp returns [`TimeTravel`] and records
+    /// nothing.
+    pub fn try_record(&mut self, t: SimTime, value: f64) -> Result<(), TimeTravel> {
         if let Some(&(last, _)) = self.points.last() {
-            assert!(t >= last, "TimeSeries timestamps must be non-decreasing");
+            if t < last {
+                return Err(TimeTravel { last, attempted: t });
+            }
         }
         self.points.push((t, value));
+        Ok(())
+    }
+
+    /// Record `value` at time `t`. An out-of-order timestamp is clamped
+    /// forward to the last recorded one (the value is kept, ordering is
+    /// preserved) and counted in [`TimeSeries::clamped`] — time-series
+    /// consumers (`time_weighted_mean`, `first_at_or_below`) require
+    /// monotone time, but a misbehaving caller should degrade a metric,
+    /// not abort a run. Callers that want the strict contract use
+    /// [`TimeSeries::try_record`].
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        if let Err(tt) = self.try_record(t, value) {
+            self.points.push((tt.last, value));
+            self.clamped += 1;
+        }
+    }
+
+    /// How many [`TimeSeries::record`] calls arrived out of order and had
+    /// their timestamp clamped forward.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
     }
 
     /// All recorded points.
@@ -163,7 +211,7 @@ impl Samples {
             return None;
         }
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
@@ -281,11 +329,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-decreasing")]
-    fn timeseries_rejects_time_travel() {
+    fn timeseries_try_record_rejects_time_travel() {
+        let mut ts = TimeSeries::new();
+        ts.try_record(SimTime::from_secs(2), 1.0).unwrap();
+        let err = ts.try_record(SimTime::from_secs(1), 1.0).unwrap_err();
+        assert_eq!(err.last, SimTime::from_secs(2));
+        assert_eq!(err.attempted, SimTime::from_secs(1));
+        assert_eq!(ts.len(), 1, "rejected point must not be recorded");
+        assert!(err.to_string().contains("non-decreasing"));
+    }
+
+    #[test]
+    fn timeseries_record_clamps_time_travel() {
         let mut ts = TimeSeries::new();
         ts.record(SimTime::from_secs(2), 1.0);
-        ts.record(SimTime::from_secs(1), 1.0);
+        ts.record(SimTime::from_secs(1), 7.0);
+        ts.record(SimTime::from_secs(3), 2.0);
+        assert_eq!(ts.clamped(), 1);
+        // Value kept, timestamp clamped to the previous point's.
+        assert_eq!(
+            ts.points(),
+            &[
+                (SimTime::from_secs(2), 1.0),
+                (SimTime::from_secs(2), 7.0),
+                (SimTime::from_secs(3), 2.0),
+            ]
+        );
+        // Monotonicity preserved for downstream consumers.
+        assert!(ts.points().windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

@@ -125,6 +125,7 @@ pub struct LbSwitch {
     vips: BTreeMap<VipAddr, VipConfig>,
     rip_total: usize,
     total_conns: u64,
+    reconfigs: u64,
 }
 
 impl LbSwitch {
@@ -137,12 +138,21 @@ impl LbSwitch {
             vips: BTreeMap::new(),
             rip_total: 0,
             total_conns: 0,
+            reconfigs: 0,
         }
     }
 
     /// This switch's id.
     pub fn id(&self) -> SwitchId {
         self.id
+    }
+
+    /// Number of successful configuration-plane changes (VIP/RIP
+    /// add/remove, weight or policy updates) applied to this switch so
+    /// far. Each is one serialized reconfiguration in §III.C terms; the
+    /// platform's per-epoch health event sums this across the fabric.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigs
     }
 
     /// The switch's capacity limits.
@@ -196,6 +206,7 @@ impl LbSwitch {
             return Err(SwitchError::VipLimitExceeded);
         }
         self.vips.insert(vip, VipConfig::default());
+        self.reconfigs += 1;
         Ok(())
     }
 
@@ -209,6 +220,7 @@ impl LbSwitch {
         }
         let cfg = self.vips.remove(&vip).expect("checked above");
         self.rip_total -= cfg.rips.len();
+        self.reconfigs += 1;
         Ok(cfg.rips)
     }
 
@@ -224,6 +236,7 @@ impl LbSwitch {
         for r in &mut rips {
             r.active_conns = 0;
         }
+        self.reconfigs += 1;
         Ok((rips, dropped))
     }
 
@@ -249,6 +262,7 @@ impl LbSwitch {
             active_conns: 0,
         });
         self.rip_total += 1;
+        self.reconfigs += 1;
         Ok(())
     }
 
@@ -267,6 +281,7 @@ impl LbSwitch {
         let entry = cfg.rips.remove(pos);
         self.rip_total -= 1;
         self.total_conns -= entry.active_conns;
+        self.reconfigs += 1;
         Ok(entry.active_conns)
     }
 
@@ -291,6 +306,7 @@ impl LbSwitch {
             .find(|r| r.rip == rip)
             .ok_or(SwitchError::UnknownRip(vip, rip))?;
         entry.weight = weight;
+        self.reconfigs += 1;
         Ok(())
     }
 
@@ -301,6 +317,7 @@ impl LbSwitch {
             .get_mut(&vip)
             .ok_or(SwitchError::UnknownVip(vip))?;
         cfg.policy = policy;
+        self.reconfigs += 1;
         Ok(())
     }
 

@@ -1,0 +1,396 @@
+//! Decision audit trail: reconstruct *why* the control plane acted on a
+//! VIP/app/pod in a given epoch, from a recorded event log.
+//!
+//! Two pieces live here:
+//!
+//! * [`footprint_violations`] — the runtime-vs-static cross-check. A
+//!   [`ActionKind::Global`] event's `inputs` keys must fall inside the
+//!   action's declared read set (plus the ambient namespaces below) and
+//!   its `delta` keys inside the declared write sets. A violation means
+//!   the code and the footprint declaration in [`crate::footprint`]
+//!   have drifted — the same drift the static conflict checker guards
+//!   against, caught here on real recorded decisions.
+//! * [`explain`] / [`parse_log`] — the `cargo run -p obs -- explain`
+//!   backend: filter a (possibly multi-run) JSONL log down to one
+//!   VIP/app/pod (and optionally one epoch) and render the causal chain
+//!   chronologically with inputs, deltas, and the footprint verdict.
+
+use crate::{ActionKind, Event};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Input-key namespaces that are not shared control-plane resources and
+/// therefore legal for any action: configuration constants (`cfg.`),
+/// measured load (`load.`), forecasts (`forecast.`), controller-local
+/// state such as cooldowns and starvation streaks (`ctl.`), and the
+/// health roll-up counters (`count.`).
+pub const AMBIENT_PREFIXES: &[&str] = &["cfg", "load", "forecast", "ctl", "count"];
+
+fn key_prefix(key: &str) -> &str {
+    key.split('.').next().unwrap_or(key)
+}
+
+/// Cross-check one event against the declared footprint of its action.
+///
+/// Returns human-readable violations (empty = consistent). Non-global
+/// kinds have no declaration and always pass.
+pub fn footprint_violations(ev: &Event) -> Vec<String> {
+    let ActionKind::Global(action) = ev.kind else {
+        return Vec::new();
+    };
+    let fp = action.footprint();
+    let mut out = Vec::new();
+    for (key, _) in &ev.inputs {
+        let prefix = key_prefix(key);
+        let ambient = AMBIENT_PREFIXES.contains(&prefix);
+        let declared = fp.reads.iter().any(|r| r.key() == prefix);
+        if !ambient && !declared {
+            out.push(format!(
+                "input `{key}` reads `{prefix}`, which is not in {}'s declared read set",
+                action.name()
+            ));
+        }
+    }
+    for (key, _, _) in &ev.delta {
+        let prefix = key_prefix(key);
+        let declared = fp
+            .direct_writes
+            .iter()
+            .chain(fp.queued_writes.iter())
+            .any(|r| r.key() == prefix);
+        if !declared {
+            out.push(format!(
+                "delta `{key}` writes `{prefix}`, which is not in {}'s declared write set",
+                action.name()
+            ));
+        }
+    }
+    out
+}
+
+/// A parsed event log: one or more runs, each a named event sequence.
+/// Runs are delimited by `{"run":"<label>"}` header lines (written by
+/// `expt --events` before each experiment run); a log with no header
+/// gets a single run labeled `""`.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    /// `(label, events)` in file order.
+    pub runs: Vec<(String, Vec<Event>)>,
+}
+
+/// Parse a JSONL event log (see [`EventLog`]). Blank lines are skipped;
+/// a malformed line is an error with its 1-based line number.
+pub fn parse_log(text: &str) -> Result<EventLog, String> {
+    let mut log = EventLog::default();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Run header?
+        if let Ok(doc) = crate::json::parse(line) {
+            if let Some(label) = doc.get("run").and_then(crate::json::Json::as_str) {
+                log.runs.push((label.to_string(), Vec::new()));
+                continue;
+            }
+        }
+        let ev = Event::from_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if log.runs.is_empty() {
+            log.runs.push((String::new(), Vec::new()));
+        }
+        if let Some((_, events)) = log.runs.last_mut() {
+            events.push(ev);
+        }
+    }
+    Ok(log)
+}
+
+/// What to explain: any combination of VIP / app / pod (OR-matched
+/// after VIP→app resolution), optionally narrowed to one epoch and one
+/// run (substring match on the run label).
+#[derive(Debug, Default, Clone)]
+pub struct Query {
+    /// Match events targeting this VIP (and its app's app-wide events).
+    pub vip: Option<u32>,
+    /// Match events targeting this app.
+    pub app: Option<u32>,
+    /// Match events targeting this pod.
+    pub pod: Option<u32>,
+    /// Only this epoch (otherwise the whole run).
+    pub epoch: Option<u64>,
+    /// Only runs whose label contains this substring.
+    pub run: Option<String>,
+}
+
+/// Map each VIP to the app it serves, learned from events carrying both
+/// ids. Lets a `--vip` query pull in app-level decisions (deployments,
+/// retires) that caused or followed the VIP-level ones.
+fn vip_app_map(events: &[Event]) -> BTreeMap<u32, u32> {
+    let mut map = BTreeMap::new();
+    for ev in events {
+        if let (Some(vip), Some(app)) = (ev.vip, ev.app) {
+            map.entry(vip).or_insert(app);
+        }
+    }
+    map
+}
+
+fn matches(ev: &Event, q: &Query, resolved_app: Option<u32>) -> bool {
+    if let Some(epoch) = q.epoch {
+        if ev.epoch != epoch {
+            return false;
+        }
+    }
+    let mut constrained = false;
+    if let Some(vip) = q.vip {
+        constrained = true;
+        if ev.vip == Some(vip) {
+            return true;
+        }
+        // App-wide events (no VIP tag) for the VIP's app count too.
+        if ev.vip.is_none() {
+            if let Some(app) = resolved_app {
+                if ev.app == Some(app) {
+                    return true;
+                }
+            }
+        }
+    }
+    if let Some(app) = q.app {
+        constrained = true;
+        if ev.app == Some(app) {
+            return true;
+        }
+    }
+    if let Some(pod) = q.pod {
+        constrained = true;
+        if ev.pod == Some(pod) {
+            return true;
+        }
+    }
+    // Epoch-only queries (no id constraint) match everything in range.
+    !constrained
+}
+
+fn render_event(ev: &Event, out: &mut String) {
+    let _ = write!(
+        out,
+        "  #{seq} epoch {epoch} t={t:.1}s [{actor:?}] {kind}",
+        seq = ev.seq,
+        epoch = ev.epoch,
+        t = ev.t_us as f64 / 1e6,
+        actor = ev.actor,
+        kind = ev.kind.key()
+    );
+    for (name, id) in [
+        ("app", ev.app),
+        ("vip", ev.vip),
+        ("pod", ev.pod),
+        ("vm", ev.vm),
+        ("link", ev.link),
+        ("switch", ev.switch),
+        ("server", ev.server),
+    ] {
+        if let Some(id) = id {
+            let _ = write!(out, " {name}={id}");
+        }
+    }
+    if !ev.note.is_empty() {
+        let _ = write!(out, " ({})", ev.note);
+    }
+    out.push('\n');
+    if !ev.inputs.is_empty() {
+        out.push_str("      read:");
+        for (k, v) in &ev.inputs {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+    }
+    if !ev.delta.is_empty() {
+        out.push_str("      wrote:");
+        for (k, before, after) in &ev.delta {
+            let _ = write!(out, " {k}: {before} -> {after}");
+        }
+        out.push('\n');
+    }
+    if let ActionKind::Global(action) = ev.kind {
+        let fp = action.footprint();
+        let fmt_set = |rs: &[crate::footprint::Resource]| -> String {
+            if rs.is_empty() {
+                "-".to_string()
+            } else {
+                rs.iter().map(|r| r.key()).collect::<Vec<_>>().join(",")
+            }
+        };
+        let _ = write!(
+            out,
+            "      declared: reads[{}] direct[{}] queued[{}]",
+            fmt_set(fp.reads),
+            fmt_set(fp.direct_writes),
+            fmt_set(fp.queued_writes)
+        );
+        let violations = footprint_violations(ev);
+        if violations.is_empty() {
+            out.push_str(" — footprint check: ok\n");
+        } else {
+            out.push_str(" — footprint check: VIOLATION\n");
+            for v in violations {
+                let _ = writeln!(out, "        !! {v}");
+            }
+        }
+    }
+}
+
+/// Render the causal chain for `q` over `log` as human-readable text.
+pub fn explain(log: &EventLog, q: &Query) -> String {
+    let mut out = String::new();
+    let mut matched_any = false;
+    for (label, events) in &log.runs {
+        if let Some(want) = &q.run {
+            if !label.contains(want.as_str()) {
+                continue;
+            }
+        }
+        let resolved_app = q
+            .app
+            .or_else(|| q.vip.and_then(|v| vip_app_map(events).get(&v).copied()));
+        let selected: Vec<&Event> = events
+            .iter()
+            .filter(|ev| matches(ev, q, resolved_app))
+            .collect();
+        if selected.is_empty() {
+            continue;
+        }
+        matched_any = true;
+        if label.is_empty() {
+            out.push_str("run:\n");
+        } else {
+            let _ = writeln!(out, "run: {label}");
+        }
+        if let (Some(vip), Some(app)) = (q.vip, resolved_app) {
+            let _ = writeln!(out, "  (vip {vip} serves app {app})");
+        }
+        let mut last_epoch = u64::MAX;
+        for ev in selected {
+            if ev.epoch != last_epoch {
+                let _ = writeln!(out, "  -- epoch {} --", ev.epoch);
+                last_epoch = ev.epoch;
+            }
+            render_event(ev, &mut out);
+        }
+    }
+    if !matched_any {
+        out.push_str("no matching events\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::GlobalAction;
+    use crate::{Actor, Recorder};
+    use dcsim::SimTime;
+
+    fn build_log() -> EventLog {
+        let mut rec = Recorder::default();
+        rec.begin_epoch(5, SimTime::from_secs(150));
+        rec.event(Actor::Global, ActionKind::Global(GlobalAction::Reweight))
+            .vip(1)
+            .app(9)
+            .input("forecast.pod_util_max", 0.95)
+            .delta("rip_weights.max", 1.0, 0.5)
+            .commit();
+        rec.event(Actor::Global, ActionKind::Global(GlobalAction::QueueRetire))
+            .app(9)
+            .vm(4)
+            .input("rip_set.live_rips", 3.0)
+            .delta("pending_retires.count", 0.0, 1.0)
+            .commit();
+        rec.event(Actor::Global, ActionKind::Global(GlobalAction::Reweight))
+            .vip(2)
+            .app(8)
+            .commit();
+        let events = rec.take_events();
+        EventLog {
+            runs: vec![("e17 quick".to_string(), events)],
+        }
+    }
+
+    #[test]
+    fn clean_events_pass_footprint_check() {
+        let log = build_log();
+        for ev in &log.runs[0].1 {
+            assert!(footprint_violations(ev).is_empty(), "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn undeclared_access_is_flagged() {
+        let mut rec = Recorder::default();
+        rec.begin_epoch(0, SimTime::ZERO);
+        rec.event(Actor::Global, ActionKind::Global(GlobalAction::Reweight))
+            .input("dns_exposure.share", 0.5) // Reweight does not read DNS
+            .delta("pod_membership.servers", 3.0, 4.0) // nor write membership
+            .commit();
+        let evs = rec.take_events();
+        let violations = footprint_violations(&evs[0]);
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("dns_exposure"));
+        assert!(violations[1].contains("pod_membership"));
+    }
+
+    #[test]
+    fn vip_query_pulls_in_app_events() {
+        let log = build_log();
+        let text = explain(
+            &log,
+            &Query {
+                vip: Some(1),
+                ..Query::default()
+            },
+        );
+        assert!(text.contains("Reweight"), "{text}");
+        assert!(text.contains("QueueRetire"), "{text}"); // app-level event
+        assert!(!text.contains("vip=2"), "{text}"); // other VIP excluded
+        assert!(text.contains("footprint check: ok"), "{text}");
+    }
+
+    #[test]
+    fn run_filter_and_epoch_filter() {
+        let log = build_log();
+        let none = explain(
+            &log,
+            &Query {
+                vip: Some(1),
+                run: Some("does-not-exist".into()),
+                ..Query::default()
+            },
+        );
+        assert!(none.contains("no matching events"));
+        let wrong_epoch = explain(
+            &log,
+            &Query {
+                vip: Some(1),
+                epoch: Some(99),
+                ..Query::default()
+            },
+        );
+        assert!(wrong_epoch.contains("no matching events"));
+    }
+
+    #[test]
+    fn parse_log_splits_runs() {
+        let mut rec = Recorder::default();
+        rec.begin_epoch(0, SimTime::ZERO);
+        rec.event(Actor::Queue, ActionKind::QueueApply).commit();
+        let ev_line = rec.take_events()[0].to_json_line();
+        let text = format!("{{\"run\":\"a\"}}\n{ev_line}\n{{\"run\":\"b\"}}\n{ev_line}\n");
+        let log = parse_log(&text).unwrap();
+        assert_eq!(log.runs.len(), 2);
+        assert_eq!(log.runs[0].0, "a");
+        assert_eq!(log.runs[0].1.len(), 1);
+        assert_eq!(log.runs[1].1.len(), 1);
+        assert!(parse_log("not json\n").is_err());
+    }
+}

@@ -9,9 +9,10 @@
 //! transfer's *read* of it (`restore_exposure` → `live_rip_count`) was
 //! direct.
 //!
-//! This module makes every action's footprint explicit, next to the code
-//! that implements it ([`crate::global::GlobalManager`] and
-//! [`crate::viprip::Request`]). The `analyze` crate (Pass 2 of
+//! This module makes every action's footprint explicit, next to the
+//! observability layer that records them at runtime (the actions
+//! themselves live in `megadc::global::GlobalManager` and
+//! `megadc::viprip::Request`). The `analyze` crate (Pass 2 of
 //! `cargo run -p analyze`) computes the pairwise conflict matrix from
 //! these declarations and asserts that every conflicting pair is either
 //! ordered by the serialized manager (both sides' accesses to every
@@ -19,6 +20,12 @@
 //! explicit [`GuardDecl`] below. A new action, or a footprint change,
 //! that introduces an unguarded conflict fails CI until a guard exists
 //! in the code *and* is declared here.
+//!
+//! The same declarations also ground the runtime audit trail: every
+//! [`GlobalAction`] emitted as a recorder [`crate::Event`] tags its
+//! decision inputs and state deltas with [`Resource::key`]-prefixed
+//! keys, and `explain` cross-checks the recorded accesses against the
+//! static footprint (see [`crate::explain::footprint_violations`]).
 
 /// A piece of shared control-plane state an action can read or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -54,6 +61,23 @@ impl Resource {
             Resource::PodMembership => "pod membership",
             Resource::VmFleet => "VM fleet",
             Resource::PendingRetires => "pending-retire set",
+        }
+    }
+
+    /// Stable machine key. Event `inputs`/`delta` entries touching this
+    /// resource use `"<key>.<detail>"` names, which is what lets
+    /// `explain` cross-check a recorded event against the declared
+    /// footprint.
+    pub fn key(self) -> &'static str {
+        match self {
+            Resource::DnsExposure => "dns_exposure",
+            Resource::DnsRecords => "dns_records",
+            Resource::RipWeights => "rip_weights",
+            Resource::RipSet => "rip_set",
+            Resource::SwitchVipTable => "switch_vip_table",
+            Resource::PodMembership => "pod_membership",
+            Resource::VmFleet => "vm_fleet",
+            Resource::PendingRetires => "pending_retires",
         }
     }
 }
@@ -105,7 +129,7 @@ pub const ALL_ACTIONS: [GlobalAction; 8] = [
 /// The declared resource accesses of one action.
 ///
 /// `queued_writes` are mutations submitted to the serialized VIP/RIP
-/// queue ([`crate::viprip::VipRipManager::submit`]) and applied in
+/// queue (`megadc::viprip::VipRipManager::submit`) and applied in
 /// (priority, FIFO) order at the end of the epoch; `direct_writes` mutate
 /// platform state immediately. The distinction matters: queue-vs-queue
 /// conflicts are ordered by the serialized manager, but a *direct* read
@@ -121,7 +145,8 @@ pub struct Footprint {
 }
 
 impl GlobalAction {
-    /// Stable display name (used in the generated conflict matrix).
+    /// Stable display name (used in the generated conflict matrix and as
+    /// the event `kind` string in the flight-recorder log).
     pub fn name(self) -> &'static str {
         match self {
             GlobalAction::Reweight => "Reweight",
@@ -135,9 +160,16 @@ impl GlobalAction {
         }
     }
 
+    /// Inverse of [`GlobalAction::name`], for log readers.
+    pub fn parse(name: &str) -> Option<GlobalAction> {
+        ALL_ACTIONS.into_iter().find(|a| a.name() == name)
+    }
+
     /// The declared footprint of this action. Kept in sync with
     /// `global.rs` by review; the conflict checker turns any footprint
-    /// change that opens an unguarded pair into a CI failure.
+    /// change that opens an unguarded pair into a CI failure, and the
+    /// `explain` cross-check flags recorded events whose inputs or
+    /// deltas touch resources outside this declaration.
     pub fn footprint(self) -> Footprint {
         use Resource::*;
         match self {
@@ -429,5 +461,33 @@ mod tests {
         let fp = GlobalAction::QueueRetire.footprint();
         assert!(fp.queued_writes.contains(&Resource::RipSet));
         assert!(fp.direct_writes.contains(&Resource::PendingRetires));
+    }
+
+    #[test]
+    fn action_names_roundtrip() {
+        for a in ALL_ACTIONS {
+            assert_eq!(GlobalAction::parse(a.name()), Some(a));
+        }
+        assert_eq!(GlobalAction::parse("NotAnAction"), None);
+    }
+
+    #[test]
+    fn resource_keys_are_unique_idents() {
+        use std::collections::BTreeSet;
+        let all = [
+            Resource::DnsExposure,
+            Resource::DnsRecords,
+            Resource::RipWeights,
+            Resource::RipSet,
+            Resource::SwitchVipTable,
+            Resource::PodMembership,
+            Resource::VmFleet,
+            Resource::PendingRetires,
+        ];
+        let keys: BTreeSet<&str> = all.iter().map(|r| r.key()).collect();
+        assert_eq!(keys.len(), all.len());
+        for k in keys {
+            assert!(k.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
     }
 }

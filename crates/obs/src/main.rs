@@ -1,0 +1,82 @@
+//! `obs` — flight-recorder tooling.
+//!
+//! ```sh
+//! # record a log, then reconstruct why the control plane touched vip 0
+//! cargo run -p bench --release --bin expt -- e17 --quick --events events.jsonl
+//! cargo run -p obs -- explain --events events.jsonl --vip 0 --epoch 42
+//! ```
+//!
+//! `explain` filters the (possibly multi-run) JSONL event log down to
+//! one VIP / app / pod, prints the causal chain chronologically, and
+//! cross-checks every global-manager event against its declared
+//! footprint (`obs::footprint`).
+
+#![forbid(unsafe_code)]
+
+use obs::explain::{explain, parse_log, Query};
+use std::fs;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: obs explain --events PATH [--vip ID] [--app ID] [--pod ID] \
+                     [--epoch N] [--run SUBSTR]";
+
+fn parse_id<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse::<T>()
+        .map_err(|e| format!("bad {flag} value {raw:?}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("explain") => {}
+        Some(other) => return Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    }
+    let mut events_path: Option<String> = None;
+    let mut query = Query::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--events" => {
+                events_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--events needs a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--vip" => query.vip = Some(parse_id("--vip", it.next())?),
+            "--app" => query.app = Some(parse_id("--app", it.next())?),
+            "--pod" => query.pod = Some(parse_id("--pod", it.next())?),
+            "--epoch" => query.epoch = Some(parse_id("--epoch", it.next())?),
+            "--run" => {
+                query.run = Some(
+                    it.next()
+                        .ok_or_else(|| "--run needs a substring".to_string())?
+                        .clone(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let path = events_path.ok_or_else(|| format!("--events is required\n{USAGE}"))?;
+    let text = fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let log = parse_log(&text)?;
+    Ok(explain(&log, &query))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
