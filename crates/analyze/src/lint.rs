@@ -29,8 +29,15 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crates whose control paths must not panic (the ratcheted rule).
-pub const CONTROL_PLANE_CRATES: &[&str] =
-    &["core", "dcsim", "elastic", "lbswitch", "obs", "placement"];
+pub const CONTROL_PLANE_CRATES: &[&str] = &[
+    "chaos",
+    "core",
+    "dcsim",
+    "elastic",
+    "lbswitch",
+    "obs",
+    "placement",
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -308,6 +315,12 @@ pub fn lint_sources(root: &Path) -> Vec<Finding> {
 /// code — a `GlobalAction::<Variant>` token. An action whose footprint
 /// is declared but never recorded would silently escape the decision
 /// audit trail (and the conflict matrix would overstate coverage).
+///
+/// The fault kinds ([`megadc::obs::FAULT_KINDS`]: `FaultInject`,
+/// `LinkDegrade`)
+/// are held to the same bar: the chaos oracles and `obs explain` both
+/// key off those events, so an injection path that stops recording them
+/// would make every fault invisible to the audit trail.
 pub fn lint_emit_coverage(root: &Path) -> Vec<Finding> {
     use megadc::footprint::ALL_ACTIONS;
     let src = root.join("crates/core/src");
@@ -338,6 +351,22 @@ pub fn lint_emit_coverage(root: &Path) -> Vec<Finding> {
                     "{token} is declared in crates/obs/src/footprint.rs but never \
                      emitted from crates/core/src non-test code; every declared \
                      action must record a flight-recorder event"
+                ),
+            });
+        }
+    }
+    for kind in megadc::obs::FAULT_KINDS {
+        let token = format!("ActionKind::{}", kind.key());
+        if !mentions_word(&non_test, &token) {
+            findings.push(Finding {
+                rule: "emit-coverage",
+                krate: "core".into(),
+                file: "crates/core/src".into(),
+                line: 0,
+                message: format!(
+                    "{token} has no emit site in crates/core/src non-test code; \
+                     fault injection must record a flight-recorder event or the \
+                     chaos oracles and `obs explain` cannot see the fault"
                 ),
             });
         }

@@ -171,7 +171,8 @@ fn missing_global_action_emit_site_is_flagged() {
     use analyze::lint::lint_emit_coverage;
     use megadc::footprint::ALL_ACTIONS;
     let root = fixture_root("fx-emit");
-    // Emit sites for every action except VipTransfer; the lint must name
+    // Emit sites for every action except VipTransfer (and for both fault
+    // kinds, which the lint holds to the same bar); the lint must name
     // exactly the missing one. A token inside a test module must not
     // count as coverage.
     let mut body = String::from(CLEAN_HEADER);
@@ -183,6 +184,13 @@ fn missing_global_action_emit_site_is_flagged() {
                 a.name()
             ));
         }
+    }
+    for kind in megadc::obs::FAULT_KINDS {
+        body.push_str(&format!(
+            "pub fn emit_{}() {{ record_kind(ActionKind::{}); }}\n",
+            kind.key().to_lowercase(),
+            kind.key()
+        ));
     }
     body.push_str(
         "#[cfg(test)]\nmod tests {\n    fn t() { record(GlobalAction::VipTransfer); }\n}\n",

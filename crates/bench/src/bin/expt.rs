@@ -1,4 +1,4 @@
-//! `expt` — regenerate the experiment tables (E1–E17, see DESIGN.md §4).
+//! `expt` — regenerate the experiment tables (E1–E18, see DESIGN.md §4).
 //!
 //! ```sh
 //! cargo run --release -p megadc-bench --bin expt -- all

@@ -17,6 +17,7 @@ pub mod e14_energy;
 pub mod e15_session_quiescence;
 pub mod e16_proactive_elasticity;
 pub mod e17_misrouting_equilibrium;
+pub mod e18_chaos_sweep;
 
 use crate::Report;
 use std::path::Path;
@@ -48,11 +49,11 @@ pub(crate) fn open_event_sink(path: &Path, label: &str) -> Option<std::fs::File>
     Some(file)
 }
 
-/// Run one experiment by id (`"e1"` … `"e17"`). `quick` shrinks sweeps
+/// Run one experiment by id (`"e1"` … `"e18"`). `quick` shrinks sweeps
 /// for CI. `events`, when set, appends the flight-recorder logs of the
 /// experiment's platform runs to that JSONL file (one `{"run":...}`
 /// header per platform; supported by the platform-driving experiments —
-/// currently E4, E16 and E17 — and ignored by the rest).
+/// currently E4, E16, E17 and E18 — and ignored by the rest).
 pub fn run_experiment(id: &str, quick: bool, events: Option<&Path>) -> Option<Report> {
     Some(match id {
         "e1" => Report::text_only(id, e01_placement_scaling::run(quick)),
@@ -72,6 +73,7 @@ pub fn run_experiment(id: &str, quick: bool, events: Option<&Path>) -> Option<Re
         "e15" => Report::text_only(id, e15_session_quiescence::run(quick)),
         "e16" => e16_proactive_elasticity::report(quick, events),
         "e17" => e17_misrouting_equilibrium::report(quick, events),
+        "e18" => e18_chaos_sweep::report(quick, events),
         _ => return None,
     })
 }

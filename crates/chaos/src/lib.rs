@@ -1,0 +1,48 @@
+//! Seeded fault-scenario fuzzer, invariant oracles, and counterfactual
+//! replay for the elastic platform control plane.
+//!
+//! The paper's agility mechanisms (§IV: VIP transfer, selective
+//! exposure, server transfer, the knob ladder) are exactly the actions
+//! that misbehave under *correlated* failures. This crate stresses them
+//! three ways:
+//!
+//! 1. **Scenario DSL + generator** ([`scenario`]) — a composable set of
+//!    fault phases (pod/AZ loss, LB-switch loss, server loss,
+//!    access-link degradation, flash crowds, elephant churn) that lowers
+//!    to a deterministic per-epoch injection schedule. Random scenarios
+//!    are derived only from a seed via [`dcsim::rng::component_rng`], so
+//!    every run is exactly reproducible.
+//! 2. **Injection harness + oracles** ([`harness`], [`oracle`]) — the
+//!    schedule is applied between platform epochs and, after every
+//!    epoch, a set of invariant oracles checks live state plus the
+//!    `obs` flight-recorder log. Oracles return typed
+//!    [`oracle::Violation`]s — they never panic — and use grace windows
+//!    so the control plane's legitimate multi-epoch recovery paths
+//!    (capacity exposure, deployments, DNS TTL) do not false-positive.
+//! 3. **Counterfactual replay** ([`replay`]) — re-runs a recorded
+//!    E16/E17 event log's scenario under alternate knob settings and
+//!    emits a stable, structured diff of the two decision traces.
+//!
+//! Failing scenarios are [`shrink`]-minimised and persisted as fixtures
+//! under `crates/chaos/regressions/` ([`fixture`]); the corpus is
+//! replayed as a deterministic regression test and by the `e18` bench
+//! experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixture;
+pub mod harness;
+pub mod oracle;
+pub mod replay;
+pub mod scenario;
+pub mod settings;
+pub mod shrink;
+
+use std::path::PathBuf;
+
+/// The committed corpus of shrunk failing scenarios, replayed by
+/// `cargo test -p chaos` and the `e18` chaos sweep.
+pub fn regressions_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("regressions")
+}

@@ -1,0 +1,158 @@
+//! `chaos` — fault-scenario sweeps and counterfactual replay.
+//!
+//! ```text
+//! cargo run -p chaos -- sweep  [--seeds N] [--from SEED] [--broken] [--json]
+//! cargo run -p chaos -- replay --events <log> [--run LABEL] [--set key=value]...
+//! ```
+//!
+//! `sweep` generates one scenario per seed, runs it with every
+//! invariant oracle enabled, and prints per-seed verdicts (`--broken`
+//! disables the misrouting escape first, the known-bad config).
+//! `replay` is the `obs replay` counterfactual mode: re-run a recorded
+//! E16/E17 event log under `--set` overrides and print the
+//! decision-trace diff. Both outputs are deterministic.
+
+#![forbid(unsafe_code)]
+
+use chaos::harness::sweep;
+use chaos::oracle::OracleConfig;
+use chaos::scenario::Scenario;
+use chaos::{replay, settings};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: chaos sweep [--seeds N] [--from SEED] [--broken] [--json]\n\
+                 usage: chaos replay --events <log> [--run LABEL] [--set key=value]..."
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let mut seeds = 64u64;
+    let mut from = 101u64;
+    let mut broken = false;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seeds = v,
+                None => return usage("--seeds wants a number"),
+            },
+            "--from" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => from = v,
+                None => return usage("--from wants a number"),
+            },
+            "--broken" => broken = true,
+            "--json" => json = true,
+            other => return usage(&format!("unknown sweep flag '{other}'")),
+        }
+    }
+    let overrides: Vec<(String, String)> = if broken {
+        vec![("knobs.misrouting_escape".into(), "false".into())]
+    } else {
+        Vec::new()
+    };
+    let reports = match sweep(from..from + seeds, &overrides, &OracleConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return 2;
+        }
+    };
+    let mut failing = 0u64;
+    for r in &reports {
+        let verdict = if r.passed() { "ok" } else { "VIOLATED" };
+        if json {
+            println!(
+                "{{\"seed\":{},\"verdict\":\"{}\",\"violations\":{},\"served_mean\":{:.6},\"flipflops\":{},\"skipped_ops\":{},\"ring_dropped\":{}}}",
+                r.scenario.seed,
+                verdict,
+                r.violations.len(),
+                r.served_mean,
+                r.flipflops_total,
+                r.skipped_ops,
+                r.ring_dropped
+            );
+        } else {
+            println!(
+                "seed {:>6} {:<9} served={:.4} flipflops={} {}",
+                r.scenario.seed,
+                verdict,
+                r.served_mean,
+                r.flipflops_total,
+                Scenario::generate(r.scenario.seed).summary()
+            );
+        }
+        if !r.passed() {
+            failing += 1;
+            for v in &r.violations {
+                eprintln!("seed {}: {v}", r.scenario.seed);
+            }
+        }
+    }
+    if failing > 0 {
+        eprintln!("{failing}/{} seeds violated an invariant", reports.len());
+        1
+    } else {
+        0
+    }
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let mut events: Option<String> = None;
+    let mut run: Option<String> = None;
+    let mut sets: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--events" => match it.next() {
+                Some(p) => events = Some(p.clone()),
+                None => return usage("--events wants a path"),
+            },
+            "--run" => match it.next() {
+                Some(l) => run = Some(l.clone()),
+                None => return usage("--run wants a label"),
+            },
+            "--set" => match it.next().map(|s| settings::parse_pair(s)) {
+                Some(Ok(pair)) => sets.push(pair),
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--set wants key=value"),
+            },
+            other => return usage(&format!("unknown replay flag '{other}'")),
+        }
+    }
+    let Some(path) = events else {
+        return usage("replay requires --events <log>");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("read {path}: {e}");
+            return 2;
+        }
+    };
+    match replay::replay_command(&text, run.as_deref(), &sets) {
+        Ok(out) => {
+            print!("{out}");
+            0
+        }
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            2
+        }
+    }
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("{msg}");
+    2
+}

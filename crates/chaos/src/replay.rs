@@ -1,0 +1,315 @@
+//! Counterfactual replay: re-run a recorded E16/E17 scenario under
+//! alternate knob/config settings and diff the two decision traces.
+//!
+//! The flight-recorder log is deterministic (PR 5), so the recorded
+//! events of a labeled run — e.g. `e16/flash-reactive` or
+//! `e17/reactive-escape-off` — fully identify a scenario: the label
+//! fixes the seed, demand shape, elastic plane and knob set, and the
+//! log's epoch range fixes the run length. Replay rebuilds that exact
+//! run, applies `--set key=value` overrides, and emits a structured,
+//! byte-stable diff:
+//!
+//! * per-action-kind event counts, recorded vs replayed (changed only),
+//! * knob-counter totals for both runs,
+//! * the first diverging event (position, both sides).
+//!
+//! This is the `obs replay` mode referenced in the docs; it lives here
+//! (not in the `obs` binary) because replay must drive the platform and
+//! `obs` cannot depend on `core`.
+
+use dcsim::SimDuration;
+use megadc::{Platform, PlatformConfig};
+use obs::explain::parse_log;
+use obs::{Event, STRUCTURAL_KINDS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use workload::FlashCrowd;
+
+/// A scenario reconstructed from a run label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedScenario {
+    /// The run label the scenario was recognized from.
+    pub label: String,
+    /// Proactive elastic plane (vs reactive).
+    pub proactive: bool,
+    /// Misrouting escape knob.
+    pub escape: bool,
+    /// Flash-crowd scenario (vs pure diurnal).
+    pub flash: bool,
+    /// Diurnal amplitude.
+    pub diurnal_amplitude: f64,
+    /// Total epoch steps (warm-up included).
+    pub steps: u64,
+}
+
+/// Recognize a recorded run label. Supported: `e16/{flash|diurnal}-
+/// {reactive|proactive}` and `e17/{reactive|proactive}-escape-{off|on}`.
+pub fn recognize(label: &str, events: &[Event]) -> Result<RecordedScenario, String> {
+    let steps = events.iter().map(|e| e.epoch).max().map_or(0, |m| m + 1);
+    if steps == 0 {
+        return Err(format!("run '{label}' has no events"));
+    }
+    let mk = |proactive, escape, flash, diurnal_amplitude| {
+        Ok(RecordedScenario {
+            label: label.to_string(),
+            proactive,
+            escape,
+            flash,
+            diurnal_amplitude,
+            steps,
+        })
+    };
+    match label {
+        "e16/flash-reactive" => mk(false, true, true, 0.0),
+        "e16/flash-proactive" => mk(true, true, true, 0.0),
+        "e16/diurnal-reactive" => mk(false, true, false, 0.4),
+        "e16/diurnal-proactive" => mk(true, true, false, 0.4),
+        "e17/reactive-escape-off" => mk(false, false, true, 0.0),
+        "e17/reactive-escape-on" => mk(false, true, true, 0.0),
+        "e17/proactive-escape-off" => mk(true, false, true, 0.0),
+        "e17/proactive-escape-on" => mk(true, true, true, 0.0),
+        other => Err(format!(
+            "unrecognized run label '{other}' (replay knows the e16/e17 scenarios)"
+        )),
+    }
+}
+
+/// Re-run a recognized scenario, returning the fresh event trace.
+/// Identical to the recorded run when `sets` is empty.
+pub fn rerun(sc: &RecordedScenario, sets: &[(String, String)]) -> Result<Vec<Event>, String> {
+    let mut cfg = PlatformConfig::small_test();
+    cfg.seed = 1616;
+    cfg.total_demand_bps = 0.5e9;
+    cfg.diurnal_amplitude = sc.diurnal_amplitude;
+    if sc.diurnal_amplitude > 0.0 {
+        cfg.diurnal_period = SimDuration::from_secs(1200);
+    }
+    cfg.knobs.misrouting_escape = sc.escape;
+    if sc.proactive {
+        cfg.elastic = elastic::ElasticConfig::proactive();
+    }
+    crate::settings::apply_all(&mut cfg, sets)?;
+    let mut p = Platform::build(cfg).map_err(|e| format!("build: {e}"))?;
+    let warmup = 10u64.min(sc.steps);
+    let mut events = Vec::new();
+    let step_and_drain = |p: &mut Platform, events: &mut Vec<Event>| {
+        p.step();
+        events.extend(p.global.recorder.take_events());
+    };
+    for _ in 0..warmup {
+        step_and_drain(&mut p, &mut events);
+    }
+    if sc.flash && sc.steps > warmup {
+        let Some(&victim) = p.workload.apps_by_popularity().first() else {
+            return Err("platform has no apps".into());
+        };
+        p.workload.add_flash_crowd(FlashCrowd {
+            app: victim,
+            start: p.now() + SimDuration::from_secs(20),
+            ramp: SimDuration::from_secs(300),
+            duration: SimDuration::from_secs(1800),
+            peak: 8.0,
+        });
+    }
+    for _ in warmup..sc.steps {
+        step_and_drain(&mut p, &mut events);
+    }
+    Ok(events)
+}
+
+/// A compact one-line rendering of an event for divergence reports:
+/// everything deterministic and identity-bearing, nothing positional.
+fn brief(ev: &Event) -> String {
+    let actor = match ev.actor {
+        obs::Actor::Global => "global".to_string(),
+        obs::Actor::Elastic => "elastic".to_string(),
+        obs::Actor::Pod(p) => format!("pod:{p}"),
+        obs::Actor::Queue => "queue".to_string(),
+        obs::Actor::Platform => "platform".to_string(),
+    };
+    let mut s = format!("epoch {} {} {}", ev.epoch, actor, ev.kind.key());
+    for (tag, v) in [
+        ("app", ev.app),
+        ("vip", ev.vip),
+        ("pod", ev.pod),
+        ("vm", ev.vm),
+        ("link", ev.link),
+        ("switch", ev.switch),
+        ("server", ev.server),
+    ] {
+        if let Some(v) = v {
+            let _ = write!(s, " {tag}={v}");
+        }
+    }
+    if !ev.note.is_empty() {
+        let _ = write!(s, " note={}", ev.note);
+    }
+    s
+}
+
+/// Structured diff of two decision traces. Deterministic: same inputs,
+/// byte-identical output.
+pub fn diff_traces(label: &str, recorded: &[Event], replayed: &[Event]) -> String {
+    let count_by_kind = |events: &[Event]| -> BTreeMap<&'static str, u64> {
+        let mut m = BTreeMap::new();
+        for ev in events {
+            *m.entry(ev.kind.key()).or_insert(0) += 1;
+        }
+        m
+    };
+    let a = count_by_kind(recorded);
+    let b = count_by_kind(replayed);
+    let mut out = String::new();
+    let _ = writeln!(out, "replay diff for run '{label}'");
+    let _ = writeln!(
+        out,
+        "events: {} recorded, {} replayed",
+        recorded.len(),
+        replayed.len()
+    );
+    let mut changed = 0;
+    let _ = writeln!(out, "action counts (recorded -> replayed, changed only):");
+    for kind in STRUCTURAL_KINDS {
+        let ka = a.get(kind.key()).copied().unwrap_or(0);
+        let kb = b.get(kind.key()).copied().unwrap_or(0);
+        if ka != kb {
+            changed += 1;
+            let _ = writeln!(out, "  {:<18} {ka} -> {kb}", kind.key());
+        }
+    }
+    // Global(..) sub-kinds are distinct keys not covered above.
+    for (kind, ka) in &a {
+        if !STRUCTURAL_KINDS.iter().any(|k| k.key() == *kind) {
+            let kb = b.get(kind).copied().unwrap_or(0);
+            if *ka != kb {
+                changed += 1;
+                let _ = writeln!(out, "  {kind:<18} {ka} -> {kb}");
+            }
+        }
+    }
+    for (kind, kb) in &b {
+        if !a.contains_key(kind) && !STRUCTURAL_KINDS.iter().any(|k| k.key() == *kind) {
+            changed += 1;
+            let _ = writeln!(out, "  {kind:<18} 0 -> {kb}");
+        }
+    }
+    if changed == 0 {
+        let _ = writeln!(out, "  (none)");
+    }
+    match recorded
+        .iter()
+        .zip(replayed)
+        .position(|(x, y)| brief(x) != brief(y))
+    {
+        Some(i) => {
+            let _ = writeln!(out, "first divergence at event {i}:");
+            let _ = writeln!(out, "  recorded: {}", brief(&recorded[i]));
+            let _ = writeln!(out, "  replayed: {}", brief(&replayed[i]));
+        }
+        None if recorded.len() != replayed.len() => {
+            let i = recorded.len().min(replayed.len());
+            let _ = writeln!(out, "first divergence at event {i}:");
+            let (side, ev) = if recorded.len() > replayed.len() {
+                ("recorded", &recorded[i])
+            } else {
+                ("replayed", &replayed[i])
+            };
+            let _ = writeln!(out, "  only in {side}: {}", brief(ev));
+        }
+        None => {
+            let _ = writeln!(out, "traces identical");
+        }
+    }
+    out
+}
+
+/// The full `replay` command: parse the log, pick a run, re-run it
+/// under the overrides, and return the diff text.
+pub fn replay_command(
+    log_text: &str,
+    run_filter: Option<&str>,
+    sets: &[(String, String)],
+) -> Result<String, String> {
+    let log = parse_log(log_text)?;
+    if log.runs.is_empty() {
+        return Err("event log contains no runs".into());
+    }
+    let (label, recorded) = match run_filter {
+        Some(f) => log
+            .runs
+            .iter()
+            .find(|(l, _)| l.contains(f))
+            .ok_or_else(|| {
+                let labels: Vec<&str> = log.runs.iter().map(|(l, _)| l.as_str()).collect();
+                format!("no run matches '{f}' (have: {})", labels.join(", "))
+            })?,
+        None => &log.runs[0],
+    };
+    let sc = recognize(label, recorded)?;
+    let replayed = rerun(&sc, sets)?;
+    let mut header = String::new();
+    for (k, v) in sets {
+        let _ = writeln!(header, "override: {k}={v}");
+    }
+    Ok(format!(
+        "{header}{}",
+        diff_traces(label, recorded, &replayed)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a recorded "e17/reactive-escape-off" log in-process (the
+    /// same scenario `expt e17 --events` writes), then replay it with
+    /// the escape turned on.
+    fn record_e17_escape_off(steps: u64) -> String {
+        let sc = RecordedScenario {
+            label: "e17/reactive-escape-off".into(),
+            proactive: false,
+            escape: false,
+            flash: true,
+            diurnal_amplitude: 0.0,
+            steps,
+        };
+        let events = rerun(&sc, &[]).unwrap();
+        let mut log = String::from("{\"run\":\"e17/reactive-escape-off\"}\n");
+        for ev in &events {
+            log.push_str(&ev.to_json_line());
+            log.push('\n');
+        }
+        log
+    }
+
+    #[test]
+    fn replay_with_no_overrides_is_identical() {
+        let log = record_e17_escape_off(40);
+        let out = replay_command(&log, None, &[]).unwrap();
+        assert!(out.contains("traces identical"), "{out}");
+    }
+
+    #[test]
+    fn knob_flip_produces_nonempty_stable_diff() {
+        let log = record_e17_escape_off(70);
+        let sets = vec![("knobs.misrouting_escape".to_string(), "true".to_string())];
+        let a = replay_command(&log, Some("escape-off"), &sets).unwrap();
+        let b = replay_command(&log, Some("escape-off"), &sets).unwrap();
+        assert_eq!(a, b, "replay diff must be byte-stable");
+        assert!(
+            a.contains("MisroutingEscape"),
+            "expected escape actions in the diff:\n{a}"
+        );
+        assert!(!a.contains("traces identical"), "{a}");
+        assert!(a.contains("first divergence"), "{a}");
+    }
+
+    #[test]
+    fn unknown_labels_and_runs_are_typed_errors() {
+        let log = "{\"run\":\"mystery/run\"}\n";
+        assert!(replay_command(log, None, &[]).is_err());
+        let log2 = record_e17_escape_off(12);
+        assert!(replay_command(&log2, Some("nope"), &[]).is_err());
+        assert!(replay_command("", None, &[]).is_err());
+    }
+}

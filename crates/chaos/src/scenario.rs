@@ -1,0 +1,456 @@
+//! The fault-scenario DSL and its seeded generator.
+//!
+//! A [`Scenario`] is a list of [`Phase`]s over a fixed-size run of the
+//! `small_test` platform. Phases are *declarative* (what goes wrong and
+//! when); [`Scenario::lower`] compiles them to a concrete per-epoch
+//! [`Op`] schedule that the [`crate::harness`] applies between platform
+//! epochs. Generation draws only from
+//! [`dcsim::rng::component_rng`]`(seed, "chaos.scenario", 0)`, so a seed
+//! fully determines the scenario and two lowerings of the same scenario
+//! are identical.
+
+use dcsim::rng::component_rng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default run length (epochs) for generated scenarios — long enough
+/// for every fault to land *and* for the persistence-window oracles to
+/// observe the post-fault steady state.
+pub const DEFAULT_EPOCHS: u64 = 48;
+
+/// One declarative fault phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Phase {
+    /// Fail every healthy server of a pod at one epoch (AZ/pod loss).
+    PodLoss {
+        /// Injection epoch.
+        at: u64,
+        /// Victim pod index.
+        pod: u32,
+    },
+    /// Fail one LB switch: its VIPs re-home or die with it.
+    SwitchLoss {
+        /// Injection epoch.
+        at: u64,
+        /// Victim switch index.
+        switch: u32,
+    },
+    /// Fail `count` consecutive servers starting at `first`.
+    ServerLoss {
+        /// Injection epoch.
+        at: u64,
+        /// First victim server index.
+        first: u32,
+        /// Number of consecutive servers to fail.
+        count: u32,
+    },
+    /// Degrade one access link to `factor`× its capacity, restoring it
+    /// `recover_after` epochs later.
+    LinkDegrade {
+        /// Injection epoch.
+        at: u64,
+        /// Victim access link index.
+        link: u32,
+        /// Remaining capacity fraction in `(0, 1)`.
+        factor: f64,
+        /// Epochs until the link is restored to full capacity.
+        recover_after: u64,
+    },
+    /// A flash crowd on the app of a given popularity rank.
+    FlashCrowd {
+        /// Epoch at which the crowd is scheduled (it starts ramping
+        /// shortly after).
+        at: u64,
+        /// Popularity rank of the victim app (0 = most popular).
+        rank: u32,
+        /// Peak demand multiplier.
+        peak: f64,
+        /// Ramp duration, seconds.
+        ramp_s: u64,
+        /// Crowd duration, seconds.
+        duration_s: u64,
+    },
+    /// Elephant churn: a train of short flash bursts walking across the
+    /// most popular apps, creating and dissolving elephant pods.
+    ElephantChurn {
+        /// Epoch of the first burst.
+        at: u64,
+        /// Number of bursts.
+        bursts: u32,
+        /// Epochs between burst starts.
+        gap: u64,
+        /// Peak multiplier of each burst.
+        peak: f64,
+    },
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::PodLoss { at, pod } => write!(f, "pod-loss(pod{pod}@{at})"),
+            Phase::SwitchLoss { at, switch } => write!(f, "switch-loss(sw{switch}@{at})"),
+            Phase::ServerLoss { at, first, count } => {
+                write!(f, "server-loss(srv{first}+{count}@{at})")
+            }
+            Phase::LinkDegrade {
+                at,
+                link,
+                factor,
+                recover_after,
+            } => write!(f, "link-degrade(al{link}x{factor:.2}@{at}+{recover_after})"),
+            Phase::FlashCrowd {
+                at,
+                rank,
+                peak,
+                ramp_s,
+                duration_s,
+            } => write!(
+                f,
+                "flash(rank{rank}x{peak:.1}@{at},{ramp_s}s/{duration_s}s)"
+            ),
+            Phase::ElephantChurn {
+                at,
+                bursts,
+                gap,
+                peak,
+            } => write!(f, "churn({bursts}x{peak:.1}@{at}/{gap})"),
+        }
+    }
+}
+
+/// One concrete injection operation, applied just before an epoch step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Fail every healthy server of a pod.
+    FailPod(u32),
+    /// Fail one LB switch.
+    FailSwitch(u32),
+    /// Fail one server.
+    FailServer(u32),
+    /// Set an access link to `factor`× its *original* capacity
+    /// (`1.0` restores it).
+    SetLinkFactor {
+        /// Access link index.
+        link: u32,
+        /// Capacity fraction of the original.
+        factor: f64,
+    },
+    /// Add a flash crowd on the app of a popularity rank.
+    FlashCrowd {
+        /// Popularity rank of the victim app.
+        rank: u32,
+        /// Peak demand multiplier.
+        peak: f64,
+        /// Ramp duration, seconds.
+        ramp_s: u64,
+        /// Crowd duration, seconds.
+        duration_s: u64,
+    },
+}
+
+/// A complete fault scenario: the platform seed, run length, demand
+/// shape, and the fault phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Platform seed (also the generator seed that produced this
+    /// scenario, when generated).
+    pub seed: u64,
+    /// Number of platform epochs to run.
+    pub epochs: u64,
+    /// Baseline offered demand, bits/s.
+    pub demand_bps: f64,
+    /// Diurnal modulation amplitude (0 disables).
+    pub diurnal_amplitude: f64,
+    /// The fault phases.
+    pub phases: Vec<Phase>,
+}
+
+impl Scenario {
+    /// A quiet scenario with no faults (baseline).
+    pub fn quiet(seed: u64) -> Self {
+        Scenario {
+            seed,
+            epochs: DEFAULT_EPOCHS,
+            demand_bps: 1e9,
+            diurnal_amplitude: 0.0,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Generate a random scenario from a seed. The draw sequence is
+    /// fixed, so the same seed always yields the same scenario.
+    ///
+    /// Bounds follow the `small_test` topology (2 pods, 2 switches, 3
+    /// access links, 16 servers): at most one pod loss and one switch
+    /// loss per scenario — the platform is *supposed* to survive any
+    /// single correlated loss, and the injection harness refuses to
+    /// fail the last healthy switch.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = component_rng(seed, "chaos.scenario", 0);
+        let demand_bps = rng.gen_range(0.6e9..1.2e9);
+        let diurnal_amplitude = *pick(&mut rng, &[0.0, 0.0, 0.2, 0.4]);
+        let n_phases = rng.gen_range(1..=4usize);
+        let mut phases = Vec::with_capacity(n_phases);
+        let mut pod_losses = 0;
+        let mut switch_losses = 0;
+        for _ in 0..n_phases {
+            let at = rng.gen_range(6..=28u64);
+            let kind = rng.gen_range(0..6u32);
+            let phase = match kind {
+                0 if pod_losses == 0 => {
+                    pod_losses += 1;
+                    Phase::PodLoss {
+                        at,
+                        pod: rng.gen_range(0..2u32),
+                    }
+                }
+                1 if switch_losses == 0 => {
+                    switch_losses += 1;
+                    Phase::SwitchLoss {
+                        at,
+                        switch: rng.gen_range(0..2u32),
+                    }
+                }
+                2 => {
+                    let count = rng.gen_range(1..=2u32);
+                    Phase::ServerLoss {
+                        at,
+                        first: rng.gen_range(0..=16 - count),
+                        count,
+                    }
+                }
+                3 => Phase::LinkDegrade {
+                    at,
+                    link: rng.gen_range(0..3u32),
+                    factor: rng.gen_range(0.3..0.8),
+                    recover_after: rng.gen_range(4..=10u64),
+                },
+                4 => Phase::ElephantChurn {
+                    at,
+                    bursts: rng.gen_range(2..=4u32),
+                    gap: rng.gen_range(3..=6u64),
+                    peak: rng.gen_range(3.0..6.0),
+                },
+                // 5, or a pod/switch slot already used.
+                _ => {
+                    // The workload model requires duration >= 2*ramp.
+                    let ramp_s = rng.gen_range(120..=300u64);
+                    Phase::FlashCrowd {
+                        at,
+                        rank: rng.gen_range(0..3u32),
+                        peak: rng.gen_range(4.0..9.0),
+                        ramp_s,
+                        duration_s: rng.gen_range((2 * ramp_s).max(600)..=1500u64),
+                    }
+                }
+            };
+            phases.push(phase);
+        }
+        // Stable order: by injection epoch, ties by original position.
+        phases.sort_by_key(phase_at);
+        Scenario {
+            seed,
+            epochs: DEFAULT_EPOCHS,
+            demand_bps,
+            diurnal_amplitude,
+            phases,
+        }
+    }
+
+    /// Lower the phases to a per-epoch operation schedule. Two calls on
+    /// the same scenario produce identical schedules.
+    pub fn lower(&self) -> BTreeMap<u64, Vec<Op>> {
+        let mut schedule: BTreeMap<u64, Vec<Op>> = BTreeMap::new();
+        let mut push = |epoch: u64, op: Op| schedule.entry(epoch).or_default().push(op);
+        for phase in &self.phases {
+            match *phase {
+                Phase::PodLoss { at, pod } => push(at, Op::FailPod(pod)),
+                Phase::SwitchLoss { at, switch } => push(at, Op::FailSwitch(switch)),
+                Phase::ServerLoss { at, first, count } => {
+                    for i in 0..count {
+                        push(at, Op::FailServer(first + i));
+                    }
+                }
+                Phase::LinkDegrade {
+                    at,
+                    link,
+                    factor,
+                    recover_after,
+                } => {
+                    push(at, Op::SetLinkFactor { link, factor });
+                    push(at + recover_after, Op::SetLinkFactor { link, factor: 1.0 });
+                }
+                Phase::FlashCrowd {
+                    at,
+                    rank,
+                    peak,
+                    ramp_s,
+                    duration_s,
+                } => push(
+                    at,
+                    Op::FlashCrowd {
+                        rank,
+                        peak,
+                        ramp_s,
+                        duration_s,
+                    },
+                ),
+                Phase::ElephantChurn {
+                    at,
+                    bursts,
+                    gap,
+                    peak,
+                } => {
+                    for b in 0..bursts {
+                        push(
+                            at + u64::from(b) * gap,
+                            Op::FlashCrowd {
+                                rank: b % 4,
+                                peak,
+                                ramp_s: 60,
+                                duration_s: (20 * gap.max(1)).max(120),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        schedule
+    }
+
+    /// One-line human summary (deterministic).
+    pub fn summary(&self) -> String {
+        let phases: Vec<String> = self.phases.iter().map(Phase::to_string).collect();
+        format!(
+            "seed={} epochs={} demand={:.2}Gbps diurnal={:.1} [{}]",
+            self.seed,
+            self.epochs,
+            self.demand_bps / 1e9,
+            self.diurnal_amplitude,
+            phases.join(", ")
+        )
+    }
+}
+
+/// The injection epoch of a phase (sort key).
+pub(crate) fn phase_at(p: &Phase) -> u64 {
+    match *p {
+        Phase::PodLoss { at, .. }
+        | Phase::SwitchLoss { at, .. }
+        | Phase::ServerLoss { at, .. }
+        | Phase::LinkDegrade { at, .. }
+        | Phase::FlashCrowd { at, .. }
+        | Phase::ElephantChurn { at, .. } => at,
+    }
+}
+
+fn pick<'a, T, R: Rng>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = Scenario::generate(7);
+        let b = Scenario::generate(7);
+        assert_eq!(a, b);
+        assert_eq!(a.lower(), b.lower());
+        // Across a block of seeds, scenarios differ (phases or shape).
+        let distinct = (0..32u64)
+            .map(Scenario::generate)
+            .map(|s| s.summary())
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(distinct.len() > 24, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn generator_respects_topology_bounds() {
+        for seed in 0..200u64 {
+            let sc = Scenario::generate(seed);
+            assert!(!sc.phases.is_empty() && sc.phases.len() <= 4);
+            let pods = sc
+                .phases
+                .iter()
+                .filter(|p| matches!(p, Phase::PodLoss { .. }))
+                .count();
+            let switches = sc
+                .phases
+                .iter()
+                .filter(|p| matches!(p, Phase::SwitchLoss { .. }))
+                .count();
+            assert!(pods <= 1, "seed {seed}: {pods} pod losses");
+            assert!(switches <= 1, "seed {seed}: {switches} switch losses");
+            for p in &sc.phases {
+                assert!(phase_at(p) < sc.epochs);
+                match *p {
+                    Phase::PodLoss { pod, .. } => assert!(pod < 2),
+                    Phase::SwitchLoss { switch, .. } => assert!(switch < 2),
+                    Phase::ServerLoss { first, count, .. } => {
+                        assert!(first + count <= 16 && (1..=2).contains(&count))
+                    }
+                    Phase::LinkDegrade { link, factor, .. } => {
+                        assert!(link < 3 && factor > 0.0 && factor < 1.0)
+                    }
+                    Phase::FlashCrowd { peak, .. } => assert!(peak > 1.0),
+                    Phase::ElephantChurn { bursts, .. } => assert!(bursts >= 2),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_expands_composite_phases() {
+        let sc = Scenario {
+            seed: 1,
+            epochs: 40,
+            demand_bps: 1e9,
+            diurnal_amplitude: 0.0,
+            phases: vec![
+                Phase::LinkDegrade {
+                    at: 10,
+                    link: 1,
+                    factor: 0.5,
+                    recover_after: 5,
+                },
+                Phase::ElephantChurn {
+                    at: 12,
+                    bursts: 3,
+                    gap: 4,
+                    peak: 4.0,
+                },
+                Phase::ServerLoss {
+                    at: 8,
+                    first: 2,
+                    count: 2,
+                },
+            ],
+        };
+        let sched = sc.lower();
+        assert_eq!(sched[&8].len(), 2); // two server failures
+        assert_eq!(
+            sched[&10],
+            vec![Op::SetLinkFactor {
+                link: 1,
+                factor: 0.5
+            }]
+        );
+        assert_eq!(
+            sched[&15],
+            vec![Op::SetLinkFactor {
+                link: 1,
+                factor: 1.0
+            }]
+        );
+        // Churn bursts at 12, 16, 20.
+        for e in [12u64, 16, 20] {
+            assert!(
+                matches!(sched[&e][0], Op::FlashCrowd { .. }),
+                "missing burst at {e}"
+            );
+        }
+    }
+}

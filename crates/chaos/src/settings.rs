@@ -1,0 +1,136 @@
+//! `--set key=value` overrides for counterfactual runs.
+//!
+//! The replay engine and the broken-config sweeps both re-run a
+//! scenario under alternate [`megadc::PlatformConfig`] / knob settings;
+//! this module is the single parser mapping textual `key=value` pairs
+//! onto config fields, so fixtures, the CLI and tests agree on names.
+
+use megadc::PlatformConfig;
+
+/// The ten knob-flag names, in `KnobFlags` declaration order.
+pub const KNOB_NAMES: [&str; 10] = [
+    "link_exposure",
+    "capacity_exposure",
+    "vip_transfer",
+    "interpod_weights",
+    "deployments",
+    "server_transfers",
+    "elephant_relief",
+    "pod_slices",
+    "pod_instances",
+    "misrouting_escape",
+];
+
+/// Parse `"key=value"` into a pair, rejecting malformed input.
+pub fn parse_pair(s: &str) -> Result<(String, String), String> {
+    match s.split_once('=') {
+        Some((k, v)) if !k.is_empty() && !v.is_empty() => {
+            Ok((k.trim().to_string(), v.trim().to_string()))
+        }
+        _ => Err(format!("malformed --set '{s}' (expected key=value)")),
+    }
+}
+
+/// Apply one `key=value` override to a config. Knob flags accept an
+/// optional `knobs.` prefix; a selected set of numeric fields is also
+/// settable. Unknown keys and unparsable values are errors.
+pub fn apply(cfg: &mut PlatformConfig, key: &str, value: &str) -> Result<(), String> {
+    let knob_key = key.strip_prefix("knobs.").unwrap_or(key);
+    if KNOB_NAMES.contains(&knob_key) {
+        let v: bool = value
+            .parse()
+            .map_err(|_| format!("knob '{key}' wants true/false, got '{value}'"))?;
+        let k = &mut cfg.knobs;
+        match knob_key {
+            "link_exposure" => k.link_exposure = v,
+            "capacity_exposure" => k.capacity_exposure = v,
+            "vip_transfer" => k.vip_transfer = v,
+            "interpod_weights" => k.interpod_weights = v,
+            "deployments" => k.deployments = v,
+            "server_transfers" => k.server_transfers = v,
+            "elephant_relief" => k.elephant_relief = v,
+            "pod_slices" => k.pod_slices = v,
+            "pod_instances" => k.pod_instances = v,
+            "misrouting_escape" => k.misrouting_escape = v,
+            _ => return Err(format!("unknown knob '{key}'")),
+        }
+        return Ok(());
+    }
+    macro_rules! num {
+        ($field:ident) => {{
+            cfg.$field = value
+                .parse()
+                .map_err(|_| format!("bad value '{value}' for '{key}'"))?;
+            Ok(())
+        }};
+    }
+    match key {
+        "seed" => num!(seed),
+        "scale_in_cooldown_epochs" => num!(scale_in_cooldown_epochs),
+        "event_ring_capacity" => num!(event_ring_capacity),
+        "vip_starvation_epochs" => num!(vip_starvation_epochs),
+        "vip_starvation_ratio" => num!(vip_starvation_ratio),
+        "reweight_step" => num!(reweight_step),
+        "headroom" => num!(headroom),
+        "quiescence_share" => num!(quiescence_share),
+        "total_demand_bps" => num!(total_demand_bps),
+        "diurnal_amplitude" => num!(diurnal_amplitude),
+        _ => Err(format!(
+            "unknown --set key '{key}' (knobs: {}, or a supported numeric field)",
+            KNOB_NAMES.join("/")
+        )),
+    }
+}
+
+/// Apply a list of `(key, value)` overrides in order.
+pub fn apply_all(cfg: &mut PlatformConfig, sets: &[(String, String)]) -> Result<(), String> {
+    for (k, v) in sets {
+        apply(cfg, k, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_and_numeric_overrides_apply() {
+        let mut cfg = PlatformConfig::small_test();
+        assert!(cfg.knobs.misrouting_escape);
+        apply(&mut cfg, "knobs.misrouting_escape", "false").unwrap();
+        assert!(!cfg.knobs.misrouting_escape);
+        apply(&mut cfg, "elephant_relief", "false").unwrap();
+        assert!(!cfg.knobs.elephant_relief);
+        apply(&mut cfg, "scale_in_cooldown_epochs", "9").unwrap();
+        assert_eq!(cfg.scale_in_cooldown_epochs, 9);
+        apply(&mut cfg, "vip_starvation_ratio", "0.8").unwrap();
+        assert!((cfg.vip_starvation_ratio - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_keys_and_values_are_typed_errors() {
+        let mut cfg = PlatformConfig::small_test();
+        assert!(apply(&mut cfg, "knobs.misrouting_escape", "maybe").is_err());
+        assert!(apply(&mut cfg, "no_such_knob", "true").is_err());
+        assert!(apply(&mut cfg, "scale_in_cooldown_epochs", "many").is_err());
+        assert!(parse_pair("novalue").is_err());
+        assert!(parse_pair("=x").is_err());
+        assert_eq!(
+            parse_pair("a=b").unwrap(),
+            ("a".to_string(), "b".to_string())
+        );
+    }
+
+    #[test]
+    fn knob_names_cover_every_flag() {
+        // Flipping every named knob off must leave no knob enabled —
+        // this pins KNOB_NAMES against KnobFlags growing a field the
+        // parser does not know about.
+        let mut cfg = PlatformConfig::small_test();
+        for name in KNOB_NAMES {
+            apply(&mut cfg, name, "false").unwrap();
+        }
+        assert_eq!(cfg.knobs, megadc::config::KnobFlags::NONE);
+    }
+}

@@ -1,0 +1,207 @@
+//! Shrinking: reduce a failing scenario to a minimal fault sequence
+//! that still trips the same oracle.
+//!
+//! The shrinker is deterministic: it tries candidate reductions in a
+//! fixed order (drop each phase back-to-front, then weaken each phase)
+//! and greedily adopts any candidate that still fails, looping until a
+//! full pass makes no progress. "Still fails" means *some* oracle
+//! fires; the caller can narrow it to a specific [`OracleKind`] with
+//! [`shrink_to_kind`].
+
+use crate::harness::run_scenario;
+use crate::oracle::{OracleConfig, OracleKind};
+use crate::scenario::{Phase, Scenario};
+
+/// Shrink `scenario` while `fails` keeps returning true. `fails` must
+/// be deterministic; it is called O(phases × rounds) times.
+pub fn shrink(scenario: &Scenario, fails: impl Fn(&Scenario) -> bool) -> Scenario {
+    let mut best = scenario.clone();
+    loop {
+        let mut progressed = false;
+        // 1. Drop whole phases, back to front (later phases are more
+        //    likely incidental).
+        let mut i = best.phases.len();
+        while i > 0 {
+            i -= 1;
+            if best.phases.len() <= 1 {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.phases.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+        // 2. Weaken each remaining phase one notch.
+        for i in 0..best.phases.len() {
+            if let Some(weaker) = weaken(&best.phases[i]) {
+                let mut candidate = best.clone();
+                candidate.phases[i] = weaker;
+                if fails(&candidate) {
+                    best = candidate;
+                    progressed = true;
+                }
+            }
+        }
+        // 3. Trim the run: a shorter tail that still fails replays
+        //    faster forever after.
+        if best.epochs > 24 {
+            let mut candidate = best.clone();
+            candidate.epochs = (best.epochs * 3 / 4).max(24);
+            if candidate.epochs < best.epochs && fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+/// Shrink against "this specific oracle still fires".
+pub fn shrink_to_kind(
+    scenario: &Scenario,
+    overrides: &[(String, String)],
+    oracle_cfg: &OracleConfig,
+    kind: OracleKind,
+) -> Scenario {
+    shrink(scenario, |sc| {
+        run_scenario(sc, overrides, oracle_cfg, false)
+            .map(|r| r.violations.iter().any(|v| v.kind == kind))
+            .unwrap_or(false)
+    })
+}
+
+/// One-notch weakening of a phase; `None` when already minimal.
+fn weaken(phase: &Phase) -> Option<Phase> {
+    match *phase {
+        Phase::PodLoss { .. } | Phase::SwitchLoss { .. } => None,
+        Phase::ServerLoss { at, first, count } if count > 1 => Some(Phase::ServerLoss {
+            at,
+            first,
+            count: count - 1,
+        }),
+        Phase::ServerLoss { .. } => None,
+        Phase::LinkDegrade {
+            at,
+            link,
+            factor,
+            recover_after,
+        } => {
+            if recover_after > 2 {
+                Some(Phase::LinkDegrade {
+                    at,
+                    link,
+                    factor,
+                    recover_after: recover_after - 2,
+                })
+            } else if factor < 0.85 {
+                Some(Phase::LinkDegrade {
+                    at,
+                    link,
+                    factor: (factor + 0.15).min(0.9),
+                    recover_after,
+                })
+            } else {
+                None
+            }
+        }
+        Phase::FlashCrowd {
+            at,
+            rank,
+            peak,
+            ramp_s,
+            duration_s,
+        } => {
+            if peak > 3.0 {
+                Some(Phase::FlashCrowd {
+                    at,
+                    rank,
+                    peak: peak - 1.0,
+                    ramp_s,
+                    duration_s,
+                })
+            } else if duration_s > 400 && duration_s * 2 / 3 >= 2 * ramp_s {
+                Some(Phase::FlashCrowd {
+                    at,
+                    rank,
+                    peak,
+                    ramp_s,
+                    duration_s: duration_s * 2 / 3,
+                })
+            } else {
+                None
+            }
+        }
+        Phase::ElephantChurn {
+            at,
+            bursts,
+            gap,
+            peak,
+        } if bursts > 2 => Some(Phase::ElephantChurn {
+            at,
+            bursts: bursts - 1,
+            gap,
+            peak,
+        }),
+        Phase::ElephantChurn { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic failure predicate: "fails" iff a PodLoss phase is
+    /// present — shrinking must strip everything else and keep failing.
+    #[test]
+    fn shrink_keeps_only_the_culprit_phase() {
+        let sc = Scenario {
+            seed: 1,
+            epochs: 48,
+            demand_bps: 1e9,
+            diurnal_amplitude: 0.0,
+            phases: vec![
+                Phase::FlashCrowd {
+                    at: 8,
+                    rank: 0,
+                    peak: 8.0,
+                    ramp_s: 300,
+                    duration_s: 1500,
+                },
+                Phase::PodLoss { at: 14, pod: 1 },
+                Phase::ServerLoss {
+                    at: 20,
+                    first: 3,
+                    count: 2,
+                },
+            ],
+        };
+        let fails = |s: &Scenario| s.phases.iter().any(|p| matches!(p, Phase::PodLoss { .. }));
+        let min = shrink(&sc, fails);
+        assert_eq!(min.phases, vec![Phase::PodLoss { at: 14, pod: 1 }]);
+        assert_eq!(min.epochs, 24, "run length trimmed to the floor");
+        // Determinism: same input, same minimum.
+        assert_eq!(min, shrink(&sc, fails));
+    }
+
+    #[test]
+    fn weaken_reaches_a_fixpoint() {
+        let mut p = Phase::FlashCrowd {
+            at: 5,
+            rank: 1,
+            peak: 9.0,
+            ramp_s: 300,
+            duration_s: 1500,
+        };
+        let mut steps = 0;
+        while let Some(w) = weaken(&p) {
+            p = w;
+            steps += 1;
+            assert!(steps < 50, "weakening does not terminate");
+        }
+        assert!(steps > 0);
+    }
+}

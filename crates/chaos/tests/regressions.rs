@@ -1,0 +1,138 @@
+//! The regression corpus: shrunk failing scenarios persisted under
+//! `crates/chaos/regressions/` must keep failing with their recorded
+//! oracle, and the shrinking pipeline that produced them must stay
+//! deterministic.
+//!
+//! To (re)generate the corpus after an intentional behavior change:
+//! `cargo test -p chaos --test regressions -- --ignored regenerate`.
+
+use chaos::fixture::{load_corpus, Fixture};
+use chaos::harness::run_scenario;
+use chaos::oracle::{OracleConfig, OracleKind};
+use chaos::regressions_dir;
+use chaos::scenario::Scenario;
+use chaos::shrink::shrink_to_kind;
+
+/// The deliberately broken config every committed fixture was shrunk
+/// under: the misrouting escape disabled. Starved VIPs then have no
+/// corrective rerouting path, so scenarios that unbalance per-VIP
+/// capacity (correlated server losses) starve a VIP indefinitely.
+fn broken_overrides() -> Vec<(String, String)> {
+    vec![("misrouting_escape".to_string(), "false".to_string())]
+}
+
+/// Seed 161 of the broken-config sweep: two server-loss phases leave
+/// one VIP starved for the rest of the run. The committed fixture is
+/// its shrunk minimum.
+const BROKEN_SEED: u64 = 161;
+
+fn shrink_broken_seed() -> Fixture {
+    let sc = Scenario::generate(BROKEN_SEED);
+    let overrides = broken_overrides();
+    let cfg = OracleConfig::default();
+    let full = run_scenario(&sc, &overrides, &cfg, false).expect("harness runs");
+    assert!(
+        full.violations
+            .iter()
+            .any(|v| v.kind == OracleKind::PersistentStarvation),
+        "seed {BROKEN_SEED} no longer starves under the broken config; \
+         violations: {:?}",
+        full.violations
+    );
+    let min = shrink_to_kind(&sc, &overrides, &cfg, OracleKind::PersistentStarvation);
+    Fixture {
+        name: "escape-off-starvation".to_string(),
+        scenario: min,
+        overrides,
+        expect: OracleKind::PersistentStarvation,
+    }
+}
+
+/// The broken config must produce a shrunk, replayable failing seed:
+/// the shrink is deterministic, strictly reduces the scenario, and the
+/// minimum still fails with the same oracle. The result must match the
+/// committed fixture byte for byte — if a platform change legitimately
+/// moves the minimum, regenerate the corpus (see module docs).
+#[test]
+fn broken_config_produces_shrunk_replayable_failing_seed() {
+    let fixture = shrink_broken_seed();
+    let original = Scenario::generate(BROKEN_SEED);
+    assert!(
+        fixture.scenario.phases.len() <= original.phases.len()
+            && fixture.scenario.epochs <= original.epochs,
+        "shrinking must not grow the scenario"
+    );
+    // The minimum replays to the same verdict.
+    let replay = run_scenario(
+        &fixture.scenario,
+        &fixture.overrides,
+        &OracleConfig::default(),
+        false,
+    )
+    .expect("harness runs");
+    assert!(
+        replay
+            .violations
+            .iter()
+            .any(|v| v.kind == OracleKind::PersistentStarvation),
+        "shrunk scenario must still starve"
+    );
+    // And matches the committed corpus exactly.
+    let path = regressions_dir().join("escape-off-starvation.json");
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed fixture {}: {e}", path.display()));
+    assert_eq!(
+        fixture.to_json(),
+        committed,
+        "shrunk fixture drifted from the committed corpus; if the change \
+         is intentional, regenerate with \
+         `cargo test -p chaos --test regressions -- --ignored regenerate`"
+    );
+}
+
+/// Every committed fixture must still fail with its recorded oracle —
+/// and pass when the broken override is dropped (proving the fixture
+/// pins the knob's value, not a general platform failure).
+#[test]
+fn regression_corpus_still_fails_and_default_config_passes() {
+    let corpus = load_corpus(&regressions_dir()).expect("corpus loads");
+    assert!(!corpus.is_empty(), "regression corpus must not be empty");
+    for fixture in corpus {
+        let broken = run_scenario(
+            &fixture.scenario,
+            &fixture.overrides,
+            &OracleConfig::default(),
+            false,
+        )
+        .expect("harness runs");
+        assert!(
+            broken.violations.iter().any(|v| v.kind == fixture.expect),
+            "fixture '{}' no longer trips {}; violations: {:?}",
+            fixture.name,
+            fixture.expect,
+            broken.violations
+        );
+        let default = run_scenario(&fixture.scenario, &[], &OracleConfig::default(), false)
+            .expect("harness runs");
+        assert!(
+            default.passed(),
+            "fixture '{}' fails even with default knobs — it no longer \
+             isolates the broken override; violations: {:?}",
+            fixture.name,
+            default.violations
+        );
+    }
+}
+
+/// Regenerate the committed corpus. Ignored: run explicitly after an
+/// intentional platform change moves a shrunk minimum.
+#[test]
+#[ignore]
+fn regenerate() {
+    let dir = regressions_dir();
+    std::fs::create_dir_all(&dir).expect("create regressions dir");
+    let fixture = shrink_broken_seed();
+    let path = dir.join(format!("{}.json", fixture.name));
+    std::fs::write(&path, fixture.to_json()).expect("write fixture");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,86 @@
+//! The headline property test: hundreds of generated fault scenarios,
+//! run under the default platform config, must trip zero oracles.
+//!
+//! Any failure here is either a platform regression or an oracle bug;
+//! the panic message carries the seed and the scenario so it can be
+//! replayed with `chaos run --seed <n>` and shrunk with
+//! `chaos shrink --seed <n>`.
+
+use chaos::harness::{run_scenario, scenario_config};
+use chaos::oracle::OracleConfig;
+use chaos::scenario::Scenario;
+
+/// Debug builds run the platform an order of magnitude slower than
+/// release; keep the per-seed epoch budget identical but let CI's
+/// release runs (`cargo test --release`) cover the same range faster.
+const SEEDS: u64 = 200;
+
+#[test]
+fn two_hundred_seeds_zero_violations() {
+    let cfg = OracleConfig::default();
+    let mut failed = Vec::new();
+    for seed in 0..SEEDS {
+        let sc = Scenario::generate(seed);
+        let report = run_scenario(&sc, &[], &cfg, false).expect("harness runs");
+        if !report.passed() {
+            failed.push((seed, sc.summary(), report.violations));
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "{} of {SEEDS} seeds violated invariants under the default config:\n{}",
+        failed.len(),
+        failed
+            .iter()
+            .map(|(seed, desc, vs)| format!(
+                "  seed {seed}: {desc}\n{}",
+                vs.iter()
+                    .map(|v| format!("    {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Scenario lowering is a pure function of the seed: same seed, same
+/// schedule, same event log bytes — the property the whole shrink /
+/// replay pipeline rests on.
+#[test]
+fn sweep_is_deterministic_per_seed() {
+    for seed in [0u64, 17, 101, 161] {
+        let sc = Scenario::generate(seed);
+        assert_eq!(sc, Scenario::generate(seed), "scenario generation drifted");
+        let cfg = OracleConfig::default();
+        let a = run_scenario(&sc, &[], &cfg, true).expect("harness runs");
+        let b = run_scenario(&sc, &[], &cfg, true).expect("harness runs");
+        let log_a: Vec<String> = a.events.iter().map(|e| e.to_json_line()).collect();
+        let log_b: Vec<String> = b.events.iter().map(|e| e.to_json_line()).collect();
+        assert_eq!(
+            log_a, log_b,
+            "seed {seed}: event log not byte-stable across runs"
+        );
+        assert_eq!(a.served_mean, b.served_mean);
+        assert_eq!(a.served_final, b.served_final);
+    }
+}
+
+/// Scenario configs stay within the small_test topology the harness
+/// assumes — guards the generator against drifting out of bounds.
+#[test]
+fn generated_scenarios_fit_the_topology() {
+    for seed in 0..SEEDS {
+        let sc = Scenario::generate(seed);
+        let pc = scenario_config(&sc, &[]).expect("config builds");
+        assert!(
+            sc.epochs >= 24,
+            "seed {seed}: run too short to observe repair"
+        );
+        assert!(
+            sc.demand_bps > 0.0 && sc.demand_bps.is_finite(),
+            "seed {seed}: bad demand"
+        );
+        assert!(pc.num_servers >= 16, "seed {seed}: topology shrank");
+    }
+}

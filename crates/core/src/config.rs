@@ -180,6 +180,20 @@ pub struct PlatformConfig {
     /// Water-filling reweight step in `(0, 1]`: the fraction of the gap
     /// to the headroom-proportional target closed per actuation.
     pub reweight_step: f64,
+    /// Scale-in cooldown (hysteresis) on the reactive retire path: an
+    /// app that scaled out within the last `scale_in_cooldown_epochs`
+    /// epochs keeps its instances — the spike that justified the start
+    /// is usually still in flight, and retiring immediately produces the
+    /// start/retire/start flip-flops E17 measured. 0 disables the
+    /// cooldown.
+    pub scale_in_cooldown_epochs: u32,
+    /// Flight-recorder ring capacity in events; 0 uses
+    /// `obs::DEFAULT_RING_CAPACITY`. Long chaos runs that inspect the
+    /// ring (rather than draining it every epoch) raise this so verdicts
+    /// are not computed over a silently truncated log; evictions are
+    /// counted either way and surfaced as `ctl.ring_dropped` in the
+    /// per-epoch health event.
+    pub event_ring_capacity: usize,
     /// Knob ablation switches (default: all on).
     pub knobs: KnobFlags,
     /// Proactive elasticity control plane (forecasting + predictive
@@ -232,6 +246,8 @@ impl PlatformConfig {
             vip_starvation_ratio: 0.999,
             vip_starvation_epochs: 5,
             reweight_step: 0.5,
+            scale_in_cooldown_epochs: 5,
+            event_ring_capacity: 0,
             knobs: KnobFlags::ALL,
             elastic: ElasticConfig::default(),
         }

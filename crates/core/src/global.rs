@@ -171,6 +171,7 @@ impl GlobalManager {
         if knobs.misrouting_escape {
             self.escape_misrouting(state, snap, now);
         }
+        self.rescue_dead_apps(state, now);
         self.complete_deployments(state);
         self.balance_pods(state, snap, now);
         if knobs.elephant_relief {
@@ -312,8 +313,16 @@ impl GlobalManager {
     /// exposure: "the global manager can instruct DNS to expose only the
     /// VIPs of the applications configured at lightly-loaded LB
     /// switches"). For apps losing a noticeable demand fraction, reweight
-    /// DNS answers by each covered VIP's serving capacity (its RIP count)
+    /// DNS answers by each covered VIP's serving capacity (summed slices)
     /// discounted by its switch's load.
+    ///
+    /// An app also qualifies — regardless of its unserved fraction — when
+    /// DNS still publishes a positive share for one of its VIPs that has
+    /// no live RIPs left (e.g. the VIP died with a failed switch and
+    /// could not be re-homed). Such *dead exposure* black-holes that
+    /// share of the app's demand indefinitely, yet a small VIP can sit
+    /// below the 5% unserved trigger forever; re-exposing the covered
+    /// VIPs is the only knob that stops the leak.
     fn refresh_capacity_exposure(
         &mut self,
         state: &mut PlatformState,
@@ -331,7 +340,12 @@ impl GlobalManager {
                     return None;
                 }
                 let frac = snap.unserved_bps_by_app[a.id.0 as usize] / demand;
-                (frac > UNSERVED_TRIGGER).then_some((a.id, frac))
+                let dead_exposure = state
+                    .dns
+                    .published_shares(a.id.dns_key())
+                    .iter()
+                    .any(|&(v, share)| share > 0.0 && state.vip_rip_count(v) == 0);
+                (frac > UNSERVED_TRIGGER || dead_exposure).then_some((a.id, frac))
             })
             .collect();
         worst.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
@@ -395,16 +409,27 @@ impl GlobalManager {
         }
     }
 
-    /// Exposure weight of one VIP: its RIP count (serving capacity,
-    /// excluding RIPs queued for retirement this epoch) discounted by how
-    /// loaded its switch is.
+    /// Exposure weight of one VIP: the serving CPU behind it (summed
+    /// slices of its serving RIPs, excluding RIPs queued for retirement
+    /// this epoch) discounted by how loaded its switch is. Summing
+    /// slices rather than counting RIPs matters when an app's VMs are
+    /// heterogeneous: a VIP backed by one max-slice VM serves 5× what a
+    /// VIP backed by one min-slice VM does, and a count-based split
+    /// would keep drowning the small VIP at a third of the app's demand
+    /// forever (the chronic per-VIP starvation the chaos sweep's
+    /// starvation oracle caught).
     fn capacity_weight(&self, state: &PlatformState, vip: VipAddr) -> f64 {
-        let rips = self.live_rip_count(state, vip);
-        if rips == 0 {
+        let cpu: f64 = state
+            .vip_serving_entries(vip)
+            .iter()
+            .filter(|&&(vm, _, _, _)| !self.pending_retires.contains(&vm))
+            .map(|&(_, _, _, slice)| slice)
+            .sum();
+        if cpu <= 0.0 {
             return 0.0;
         }
         let sw = &state.switches[state.vip(vip).expect("listed").switch.0 as usize];
-        rips as f64 * (1.5 - sw.utilization()).clamp(0.05, 1.5)
+        cpu * (1.5 - sw.utilization()).clamp(0.05, 1.5)
     }
 
     // ---- knob 1: selective VIP exposure (§IV.A) -------------------------
@@ -1031,6 +1056,63 @@ impl GlobalManager {
             }
             if self.waterfill_vip(state, vip, pod_utils, step) {
                 self.counters.interpod_weight_adjustments += 1;
+            }
+        }
+    }
+
+    /// Re-bootstrap apps that lost their *last* instance — the disaster
+    /// path ordinary elasticity cannot reach. Pod managers provision
+    /// against observed in-pod demand, and a fully dead app attracts no
+    /// demand (its VIPs have no RIPs, so traffic black-holes at the
+    /// switch), so neither the reactive nor the proactive plane will
+    /// ever re-deploy it. Correlated server failures under a
+    /// consolidation-first placement make this reachable: losing the
+    /// two most-packed servers can take out every instance of most
+    /// apps at once. A fresh boot per dead app per epoch, placed on the
+    /// emptiest healthy server, rides the normal pending-deployment
+    /// path so the RIP binds through the serialized queue once the VM
+    /// is running. Unconditional: this is failure repair, not an
+    /// elasticity knob.
+    fn rescue_dead_apps(&mut self, state: &mut PlatformState, now: SimTime) {
+        let num_apps = state.config.num_apps;
+        // Any VM in any state counts — a booting rescue from last epoch
+        // (still in `pending_deployments`) must not be repeated.
+        let mut alive = vec![false; num_apps];
+        for server in state.fleet.servers() {
+            for vm in server.vms() {
+                if let Some(slot) = alive.get_mut(vm.app as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        let spec_cpu = state.config.vm_cpu_slice;
+        let mem = state.config.vm_mem_mb;
+        for (a, _) in alive.iter().enumerate().filter(|&(_, &up)| !up) {
+            // Emptiest healthy server with room (ties by id): spreading
+            // rescues avoids re-creating the packed-server blast radius
+            // that likely killed the app in the first place.
+            let target = state
+                .fleet
+                .servers()
+                .iter()
+                .filter(|s| state.server_healthy(s.id()) && s.fits(spec_cpu, mem).is_ok())
+                .min_by_key(|s| (s.vms().count(), s.id().0))
+                .map(|s| s.id());
+            let Some(target) = target else {
+                return; // no capacity anywhere; retry next epoch
+            };
+            if let Ok(vm) = state.fleet.create_vm(target, a as u32, spec_cpu, mem, now) {
+                let app = AppId(a as u32);
+                self.pending_deployments.push(PendingDeployment { vm, app });
+                self.counters.deployments_started += 1;
+                self.recorder
+                    .event(Actor::Global, ActionKind::Global(GlobalAction::Deployment))
+                    .app(app.0)
+                    .vm(vm.0)
+                    .server(target.0)
+                    .note("dead-app rescue boot")
+                    .delta("vm_fleet.rescue_boots", 0.0, 1.0)
+                    .commit();
             }
         }
     }

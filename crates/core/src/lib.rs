@@ -72,6 +72,11 @@ pub mod viprip;
 /// here to keep the `megadc::footprint` path stable.
 pub use obs::footprint;
 
+/// Re-export the whole `obs` crate so downstream tools that only depend
+/// on `megadc` (e.g. `analyze`) can reach event-kind tables like
+/// [`obs::FAULT_KINDS`] without a direct dependency.
+pub use obs;
+
 pub use config::PlatformConfig;
 pub use ids::{AppId, PodId};
 pub use platform::Platform;

@@ -25,12 +25,15 @@ use crate::ids::{AppId, PodId};
 use crate::pod::{PodManager, PodPlan};
 use crate::state::PlatformState;
 use crate::viprip::{Priority, Request, Response};
+use dcnet::access::AccessLinkId;
 use dcsim::metrics::{Counter, Samples, TimeSeries};
 use dcsim::SimTime;
 use elastic::{AppObservation, ElasticController, KnobRequest, ProposedAction};
+use lbswitch::SwitchId;
 use obs::{ActionKind, Actor};
 use rayon::prelude::*;
-use vmm::{VmId, VmState};
+use std::collections::BTreeMap;
+use vmm::{ServerId, VmId, VmState};
 use workload::Workload;
 
 /// Time-series metrics recorded every epoch.
@@ -102,6 +105,9 @@ pub struct Platform {
     /// The proactive control plane (None when `config.elastic.enabled`
     /// is false — the reactive-only baseline).
     elastic: Option<ElasticController>,
+    /// Epoch of each app's most recent scale-out (pod-plan instance
+    /// start or proactive deploy), for the reactive scale-in cooldown.
+    last_scale_out: BTreeMap<u32, u64>,
 }
 
 impl Platform {
@@ -112,6 +118,7 @@ impl Platform {
         let mut state = PlatformState::new(config);
         let workload = Workload::generate(config.workload_config());
         let mut global = GlobalManager::new();
+        global.recorder.set_capacity(config.event_ring_capacity);
         let t0 = SimTime::ZERO;
 
         // Popularity ranks: position of each app in the sorted-by-demand
@@ -259,6 +266,7 @@ impl Platform {
             epochs: 0,
             last_snapshot: None,
             elastic,
+            last_scale_out: BTreeMap::new(),
         })
     }
 
@@ -350,12 +358,14 @@ impl Platform {
             .iter()
             .map(|sw| sw.reconfigurations())
             .sum();
+        let ring_dropped = self.global.recorder.dropped();
         self.global.recorder.emit_epoch_health(&[
             ("load.served_fraction", served),
             ("load.link_util_max", link_max),
             ("load.switch_util_max", switch_max),
             ("load.pod_util_max", pod_max),
             ("switch_vip_table.reconfigs", reconfigs as f64),
+            ("ctl.ring_dropped", ring_dropped as f64),
         ]);
 
         self.epochs += 1;
@@ -539,6 +549,7 @@ impl Platform {
                 }
                 let deployed = instances - remaining;
                 if deployed > 0 {
+                    self.last_scale_out.insert(app, self.epochs);
                     self.global
                         .recorder
                         .event(Actor::Elastic, ActionKind::ProactiveDeploy)
@@ -650,6 +661,7 @@ impl Platform {
             if let Ok(vm) = created {
                 self.metrics.instance_starts.incr();
                 starts += 1;
+                self.last_scale_out.insert(app.0, self.epochs);
                 self.global
                     .recorder
                     .event(Actor::Pod(plan.pod.0), ActionKind::InstanceStart)
@@ -661,11 +673,25 @@ impl Platform {
                     .commit();
             }
         }
+        let cooldown = self.state.config.scale_in_cooldown_epochs as u64;
         for vm in if knobs.pod_instances {
             plan.remove_instances
         } else {
             Vec::new()
         } {
+            // Scale-in cooldown (hysteresis): an app that scaled out
+            // within the cooldown window keeps its instances — retiring
+            // the surplus of a spike still in flight is what produced
+            // the start/retire/start flip-flops E17 pins.
+            if cooldown > 0 {
+                if let Ok(rec) = self.state.fleet.vm(vm) {
+                    if let Some(&at) = self.last_scale_out.get(&rec.app) {
+                        if self.epochs.saturating_sub(at) < cooldown {
+                            continue;
+                        }
+                    }
+                }
+            }
             // Through the serialized retire queue: this both refuses to
             // drain a VIP's last live RIP and keeps the doomed RIP out of
             // same-epoch exposure decisions (the retire × transfer race).
@@ -732,6 +758,130 @@ impl Platform {
         for (req, resp) in self.global.viprip.process_all(&mut self.state) {
             self.global.record_queue_apply(&req, &resp);
         }
+    }
+
+    // ---- fault injection (chaos harness) ---------------------------------
+    //
+    // The chaos fuzzer (`crates/chaos`) injects faults through these
+    // entry points rather than mutating `state` directly, so every
+    // injected fault lands in the flight recorder as a structural
+    // `FaultInject`/`LinkDegrade` event (the analyze emit-coverage rule
+    // requires emit sites for both kinds) and every injection respects
+    // the same guards E13's hand-written faults do.
+
+    /// Inject a permanent LB-switch failure: the switch's VIPs are
+    /// re-homed onto healthy switches (or lost when the fabric is out of
+    /// capacity) exactly as in [`PlatformState::fail_switch`]. Refuses
+    /// an unknown, already-failed, or last-healthy switch. Returns
+    /// `(vips re-homed, vips lost, sessions dropped)`.
+    pub fn inject_switch_failure(
+        &mut self,
+        switch: SwitchId,
+    ) -> Result<(usize, usize, u64), String> {
+        if switch.0 as usize >= self.state.switches.len() {
+            return Err(format!("unknown switch {switch}"));
+        }
+        if !self.state.switch_healthy(switch) {
+            return Err(format!("{switch} is already failed"));
+        }
+        let healthy_before = self.state.healthy_switch_count();
+        if healthy_before <= 1 {
+            return Err("refusing to fail the last healthy switch".into());
+        }
+        let (rehomed, lost, dropped) = self.state.fail_switch(switch);
+        self.global
+            .recorder
+            .event(Actor::Platform, ActionKind::FaultInject)
+            .switch(switch.0)
+            .note("switch-loss")
+            .input("ctl.vips_rehomed", rehomed as f64)
+            .input("ctl.vips_lost", lost as f64)
+            .input("ctl.sessions_dropped", dropped as f64)
+            .delta(
+                "ctl.healthy_switches",
+                healthy_before as f64,
+                (healthy_before - 1) as f64,
+            )
+            .commit();
+        Ok((rehomed, lost, dropped))
+    }
+
+    /// Inject a permanent server failure: every resident VM is destroyed
+    /// and its RIP unbound ([`PlatformState::fail_server`]); the pod
+    /// manager re-provisions replacements on its next round. Refuses an
+    /// unknown or already-failed server. Returns the VMs lost.
+    pub fn inject_server_failure(&mut self, server: ServerId) -> Result<usize, String> {
+        if server.0 as usize >= self.state.config.num_servers {
+            return Err(format!("unknown server {server}"));
+        }
+        if !self.state.server_healthy(server) {
+            return Err(format!("{server} is already failed"));
+        }
+        let pod = self.state.pod_of(server);
+        let vms_lost = self.state.fail_server(server);
+        self.global
+            .recorder
+            .event(Actor::Platform, ActionKind::FaultInject)
+            .server(server.0)
+            .pod(pod.0)
+            .note("server-loss")
+            .input("ctl.vms_lost", vms_lost as f64)
+            .commit();
+        Ok(vms_lost)
+    }
+
+    /// Inject a whole-pod (AZ-style) failure: every healthy server in
+    /// the pod fails at once. One summarizing `FaultInject` event is
+    /// recorded for the pod (individual servers are recoverable from its
+    /// inputs). Returns the total VMs lost; `Ok(0)` when the pod had no
+    /// healthy servers left.
+    pub fn inject_pod_failure(&mut self, pod: PodId) -> Result<usize, String> {
+        if pod.0 as usize >= self.state.num_pods() {
+            return Err(format!("unknown pod {pod}"));
+        }
+        let servers: Vec<ServerId> = self
+            .state
+            .pod_servers(pod)
+            .iter()
+            .copied()
+            .filter(|&s| self.state.server_healthy(s))
+            .collect();
+        let mut vms_lost = 0usize;
+        for &s in &servers {
+            vms_lost += self.state.fail_server(s);
+        }
+        self.global
+            .recorder
+            .event(Actor::Platform, ActionKind::FaultInject)
+            .pod(pod.0)
+            .note("pod-loss")
+            .input("ctl.servers_failed", servers.len() as f64)
+            .input("ctl.vms_lost", vms_lost as f64)
+            .commit();
+        Ok(vms_lost)
+    }
+
+    /// Set an access link's capacity (degradation when lowered, recovery
+    /// when restored), recording a `LinkDegrade` event. Returns the
+    /// previous capacity so the caller can restore it later.
+    pub fn inject_link_capacity(
+        &mut self,
+        link: AccessLinkId,
+        capacity_bps: f64,
+    ) -> Result<f64, String> {
+        let prev = self.state.access.set_link_capacity(link, capacity_bps)?;
+        self.global
+            .recorder
+            .event(Actor::Platform, ActionKind::LinkDegrade)
+            .link(link.0)
+            .note(if capacity_bps < prev {
+                "degrade"
+            } else {
+                "restore"
+            })
+            .delta("ctl.link_capacity_bps", prev, capacity_bps)
+            .commit();
+        Ok(prev)
     }
 
     /// Run `n` epochs and summarize.
@@ -881,6 +1031,113 @@ mod tests {
         let p = Platform::build(PlatformConfig::small_test()).unwrap();
         assert!(p.elastic().is_none());
         assert!(p.forecast_mape().is_none());
+    }
+
+    #[test]
+    fn fault_injection_guards_and_records_events() {
+        let mut p = Platform::build(PlatformConfig::small_test()).unwrap();
+        p.run_epochs(2);
+        // Switch loss: ok once, already-failed and last-healthy refused.
+        let (rehomed, lost, _) = p.inject_switch_failure(SwitchId(0)).unwrap();
+        assert!(rehomed + lost > 0, "switch 0 held no VIPs?");
+        assert!(p.inject_switch_failure(SwitchId(0)).is_err());
+        assert!(
+            p.inject_switch_failure(SwitchId(1)).is_err(),
+            "must refuse to fail the last healthy switch"
+        );
+        assert!(p.inject_switch_failure(SwitchId(99)).is_err());
+        // Server loss.
+        let lost = p.inject_server_failure(ServerId(3)).unwrap();
+        assert!(lost > 0, "server 3 hosted no VMs?");
+        assert!(p.inject_server_failure(ServerId(3)).is_err());
+        assert!(p.inject_server_failure(ServerId(999)).is_err());
+        // Pod loss fails the remaining healthy servers of the pod.
+        let pod = p.state.pod_of(ServerId(3));
+        p.inject_pod_failure(pod).unwrap();
+        assert!(p
+            .state
+            .pod_servers(pod)
+            .iter()
+            .all(|&s| !p.state.server_healthy(s)));
+        assert!(p.inject_pod_failure(PodId(99)).is_err());
+        // Link degradation and restore.
+        let prev = p.inject_link_capacity(AccessLinkId(0), 1e9).unwrap();
+        assert!(prev > 1e9);
+        assert!(p.inject_link_capacity(AccessLinkId(0), prev).is_ok());
+        assert!(p.inject_link_capacity(AccessLinkId(0), 0.0).is_err());
+        // Every injection reached the flight recorder.
+        let events: Vec<_> = p.global.recorder.take_events();
+        let faults = events
+            .iter()
+            .filter(|e| e.kind == ActionKind::FaultInject)
+            .count();
+        let degrades = events
+            .iter()
+            .filter(|e| e.kind == ActionKind::LinkDegrade)
+            .count();
+        assert_eq!(faults, 3, "switch + server + pod loss");
+        assert_eq!(degrades, 2, "degrade + restore");
+        p.state.assert_invariants();
+        // The platform keeps running after the faults.
+        let report = p.run_epochs(5);
+        assert_eq!(report.epochs, 7);
+    }
+
+    #[test]
+    fn scale_in_cooldown_defers_reactive_retires() {
+        let run = |cooldown: u32| {
+            let mut cfg = PlatformConfig::small_test();
+            cfg.total_demand_bps = 1e9;
+            cfg.diurnal_amplitude = 0.0;
+            cfg.scale_in_cooldown_epochs = cooldown;
+            let mut p = Platform::build(cfg).unwrap();
+            p.run_epochs(5);
+            let victim = p.workload.apps_by_popularity()[0];
+            p.workload.add_flash_crowd(FlashCrowd {
+                app: victim,
+                start: p.now() + dcsim::SimDuration::from_secs(20),
+                ramp: dcsim::SimDuration::from_secs(60),
+                duration: dcsim::SimDuration::from_secs(600),
+                peak: 6.0,
+            });
+            p.run_epochs(80);
+            (
+                p.metrics.instance_starts.get(),
+                p.metrics.instance_stops.get(),
+            )
+        };
+        let (starts_hot, stops_hot) = run(0);
+        let (starts_cold, stops_cold) = run(u32::MAX);
+        assert!(starts_hot > 0, "flash crowd triggered no scale-out");
+        assert!(starts_cold > 0);
+        // An infinite cooldown can only reduce (or hold) retire volume,
+        // and with it the re-start churn.
+        assert!(
+            stops_cold <= stops_hot,
+            "cooldown increased retires: {stops_cold} > {stops_hot}"
+        );
+        assert!(starts_cold <= starts_hot);
+    }
+
+    #[test]
+    fn event_ring_capacity_is_configurable() {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.event_ring_capacity = 8;
+        let mut p = Platform::build(cfg).unwrap();
+        p.run_epochs(3);
+        assert!(p.global.recorder.dropped() > 0, "tiny ring never evicted");
+        assert!(p.global.recorder.events().count() <= 8);
+        // The drop counter is surfaced in the epoch-health roll-up.
+        let events: Vec<_> = p.global.recorder.take_events();
+        let health = events
+            .iter()
+            .rev()
+            .find(|e| e.kind == ActionKind::EpochHealth)
+            .expect("health event survives in an 8-slot ring");
+        assert!(health
+            .inputs
+            .iter()
+            .any(|(k, v)| k == "ctl.ring_dropped" && *v > 0.0));
     }
 
     #[test]

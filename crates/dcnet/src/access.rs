@@ -125,6 +125,23 @@ impl AccessNetwork {
         &self.links
     }
 
+    /// Override one link's capacity (fault injection: access-link
+    /// degradation and recovery). Returns the previous capacity, or an
+    /// error for an unknown link or a non-positive/NaN capacity.
+    pub fn set_link_capacity(
+        &mut self,
+        id: AccessLinkId,
+        capacity_bps: f64,
+    ) -> Result<f64, String> {
+        if capacity_bps.is_nan() || capacity_bps <= 0.0 {
+            return Err(format!("capacity for {id} must be positive"));
+        }
+        match self.links.get_mut(id.index()) {
+            Some(l) => Ok(std::mem::replace(&mut l.capacity_bps, capacity_bps)),
+            None => Err(format!("unknown access link {id}")),
+        }
+    }
+
     /// Look up one link.
     pub fn link(&self, id: AccessLinkId) -> &AccessLink {
         &self.links[id.index()]
@@ -220,6 +237,23 @@ mod tests {
         net.add_link(BorderRouterId(0), AccessRouterId(1), 1e9, 0.0);
         assert_eq!(net.links_at_router(AccessRouterId(0)).count(), 2);
         assert_eq!(net.links_at_router(AccessRouterId(1)).count(), 1);
+    }
+
+    #[test]
+    fn set_link_capacity_replaces_and_validates() {
+        let mut net = AccessNetwork::symmetric(2, 10e9, 0.0);
+        let prev = net.set_link_capacity(AccessLinkId(1), 2.5e9).unwrap();
+        assert!((prev - 10e9).abs() < 1.0);
+        assert!((net.link(AccessLinkId(1)).capacity_bps - 2.5e9).abs() < 1.0);
+        assert!((net.total_capacity_bps() - 12.5e9).abs() < 1.0);
+        // Restore.
+        let prev = net.set_link_capacity(AccessLinkId(1), prev).unwrap();
+        assert!((prev - 2.5e9).abs() < 1.0);
+        // Bad inputs are rejected without mutation.
+        assert!(net.set_link_capacity(AccessLinkId(9), 1e9).is_err());
+        assert!(net.set_link_capacity(AccessLinkId(0), 0.0).is_err());
+        assert!(net.set_link_capacity(AccessLinkId(0), f64::NAN).is_err());
+        assert!((net.total_capacity_bps() - 20e9).abs() < 1.0);
     }
 
     #[test]

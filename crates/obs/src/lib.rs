@@ -117,10 +117,17 @@ pub enum ActionKind {
     QueueApply,
     /// The per-epoch health roll-up (event counts + load summary).
     EpochHealth,
+    /// An injected component failure (chaos harness: switch, server or
+    /// pod loss); the failed component ids and a `note` qualifier record
+    /// what was taken down.
+    FaultInject,
+    /// An injected access-link capacity change (chaos harness:
+    /// degradation and its recovery).
+    LinkDegrade,
 }
 
 /// The non-`Global` kinds, for parsers and exhaustiveness tests.
-pub const STRUCTURAL_KINDS: [ActionKind; 8] = [
+pub const STRUCTURAL_KINDS: [ActionKind; 10] = [
     ActionKind::PodPlan,
     ActionKind::InstanceStart,
     ActionKind::SliceAdjust,
@@ -129,7 +136,14 @@ pub const STRUCTURAL_KINDS: [ActionKind; 8] = [
     ActionKind::ProactiveRetire,
     ActionKind::QueueApply,
     ActionKind::EpochHealth,
+    ActionKind::FaultInject,
+    ActionKind::LinkDegrade,
 ];
+
+/// The fault-injection kinds: like [`footprint::ALL_ACTIONS`], every one
+/// of these must have an emit site in `crates/core/src` (the `analyze`
+/// emit-coverage rule) so injected faults always reach the audit trail.
+pub const FAULT_KINDS: [ActionKind; 2] = [ActionKind::FaultInject, ActionKind::LinkDegrade];
 
 impl ActionKind {
     /// Stable serialized form (the `kind` field of an event line).
@@ -144,6 +158,8 @@ impl ActionKind {
             ActionKind::ProactiveRetire => "ProactiveRetire",
             ActionKind::QueueApply => "QueueApply",
             ActionKind::EpochHealth => "EpochHealth",
+            ActionKind::FaultInject => "FaultInject",
+            ActionKind::LinkDegrade => "LinkDegrade",
         }
     }
 

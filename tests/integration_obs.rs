@@ -21,7 +21,11 @@ use obs::{ActionKind, Event};
 use std::io::Write as _;
 use workload::FlashCrowd;
 
-const EPOCHS: u64 = 90;
+// 180 epochs: long enough for the post-flash scale-in (QueueRetire)
+// to appear. Slice-weighted capacity exposure plus the scale-in
+// cooldown pushed the first retire past epoch 90, where this window
+// used to end.
+const EPOCHS: u64 = 180;
 
 /// The E17 flash-crowd scenario (same seed and shape as the experiment),
 /// proactive plane and misrouting escape on — the densest event mix the
