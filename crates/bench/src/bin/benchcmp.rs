@@ -1,0 +1,133 @@
+//! `benchcmp` — compare two `BENCH_scale.json` documents (E19 output)
+//! and fail on wall-time regressions beyond a tolerance band.
+//!
+//! ```sh
+//! cargo run --release -p megadc-bench --bin benchcmp -- \
+//!     BENCH_scale.json /tmp/BENCH_scale.json --tolerance 0.15
+//! ```
+//!
+//! For every tier present in *both* documents and every thread count in
+//! both `wall_per_epoch_s` maps, the candidate must satisfy
+//! `candidate <= baseline * (1 + tolerance)` (default 0.15, i.e. a >15%
+//! per-epoch wall-time regression fails). Tiers or thread counts present
+//! only on one side are reported and skipped — a baseline regenerated at
+//! `--quick` (30k tier only) still gates a full candidate run. Exit code
+//! 0 = within tolerance, 1 = regression, 2 = usage/parse error.
+//!
+//! Wall-clock measurements are inherently noisy; the tolerance band is
+//! the contract. Improvements are never failures — ratcheting the
+//! baseline *down* is done by committing a fresh `BENCH_scale.json`.
+
+#![forbid(unsafe_code)]
+
+use obs::json::Json;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: benchcmp <baseline.json> <candidate.json> [--tolerance <frac>]");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    obs::json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// The `(label, thread-key, seconds)` triples of a bench document.
+fn walls(doc: &Json) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    let Some(tiers) = doc.get("tiers").and_then(|t| t.as_arr()) else {
+        return out;
+    };
+    for tier in tiers {
+        let Some(label) = tier.get("label").and_then(|l| l.as_str()) else {
+            continue;
+        };
+        let Some(wall) = tier.get("wall_per_epoch_s").and_then(|w| w.as_obj()) else {
+            continue;
+        };
+        for (key, val) in wall {
+            if let Some(s) = val.as_f64() {
+                out.push((label.to_string(), key.clone(), s));
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.15f64;
+    if let Some(i) = args.iter().position(|a| a == "--tolerance") {
+        if i + 1 >= args.len() {
+            return usage();
+        }
+        match args.remove(i + 1).parse::<f64>() {
+            Ok(t) if t >= 0.0 => tolerance = t,
+            _ => return usage(),
+        }
+        args.remove(i);
+    }
+    let [baseline_path, candidate_path] = &args[..] else {
+        return usage();
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchcmp: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = walls(&baseline);
+    let cand = walls(&candidate);
+    if base.is_empty() || cand.is_empty() {
+        eprintln!("benchcmp: no wall_per_epoch_s measurements on one side");
+        return ExitCode::from(2);
+    }
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!("benchcmp: tolerance +{:.0}%", tolerance * 100.0);
+    println!(
+        "{:<8} {:<6} {:>12} {:>12} {:>9}  verdict",
+        "tier", "t", "baseline s", "candidate s", "delta"
+    );
+    for (label, key, b) in &base {
+        let Some((_, _, c)) = cand.iter().find(|(cl, ck, _)| cl == label && ck == key) else {
+            println!(
+                "{label:<8} {key:<6} {b:>12.4} {:>12}         - skipped (absent in candidate)",
+                "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let delta = c / b - 1.0;
+        let verdict = if *c <= b * (1.0 + tolerance) {
+            "ok"
+        } else {
+            regressions += 1;
+            "REGRESSION"
+        };
+        println!(
+            "{label:<8} {key:<6} {b:>12.4} {c:>12.4} {:>+8.1}%  {verdict}",
+            delta * 100.0
+        );
+    }
+    for (label, key, _) in &cand {
+        if !base.iter().any(|(bl, bk, _)| bl == label && bk == key) {
+            println!(
+                "{label:<8} {key:<6} {:>12} {:>12}         - new (absent in baseline)",
+                "-", "-"
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!("benchcmp: no overlapping (tier, threads) measurements");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        eprintln!("benchcmp: {regressions}/{compared} measurements regressed beyond tolerance");
+        return ExitCode::FAILURE;
+    }
+    println!("benchcmp: all {compared} measurements within tolerance");
+    ExitCode::SUCCESS
+}

@@ -1,4 +1,4 @@
-//! `expt` — regenerate the experiment tables (E1–E18, see DESIGN.md §4).
+//! `expt` — regenerate the experiment tables (E1–E19, see DESIGN.md §4).
 //!
 //! ```sh
 //! cargo run --release -p megadc-bench --bin expt -- all
@@ -6,6 +6,7 @@
 //! cargo run --release -p megadc-bench --bin expt -- --quick all
 //! cargo run --release -p megadc-bench --bin expt -- --events /tmp/e17.jsonl e17
 //! cargo run --release -p megadc-bench --bin expt -- --json e16 e17
+//! cargo run --release -p megadc-bench --bin expt -- --quick --bench BENCH_scale.json e19
 //! ```
 //!
 //! `--events <path>` truncates `path`, then appends the flight-recorder
@@ -17,6 +18,10 @@
 //! `--json` prints one machine-readable summary line per experiment
 //! (`{"experiment":...,"metrics":{...}}`, stable key order) instead of
 //! the rendered table.
+//!
+//! `--bench <path>` is where E19 writes its `BENCH_scale.json` scale
+//! trajectory (compare against a baseline with the `benchcmp` binary);
+//! other experiments ignore it.
 
 #![forbid(unsafe_code)]
 
@@ -38,9 +43,18 @@ fn main() {
         events = Some(PathBuf::from(args.remove(i + 1)));
         args.remove(i);
     }
+    let mut bench: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--bench") {
+        if i + 1 >= args.len() {
+            eprintln!("--bench requires a path argument");
+            std::process::exit(2);
+        }
+        bench = Some(PathBuf::from(args.remove(i + 1)));
+        args.remove(i);
+    }
     if args.is_empty() {
         eprintln!(
-            "usage: expt [--quick] [--json] [--events <path>] <{}..{} | all> ...",
+            "usage: expt [--quick] [--json] [--events <path>] [--bench <path>] <{}..{} | all> ...",
             EXPERIMENTS[0],
             EXPERIMENTS[EXPERIMENTS.len() - 1]
         );
@@ -60,7 +74,7 @@ fn main() {
         args
     };
     for id in ids {
-        match run_experiment(&id, quick, events.as_deref()) {
+        match run_experiment(&id, quick, events.as_deref(), bench.as_deref()) {
             Some(report) => {
                 if json {
                     println!("{}", report.json_line());

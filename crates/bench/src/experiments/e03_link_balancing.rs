@@ -94,7 +94,7 @@ fn run_mode(mode: &str, epochs: u64) -> Outcome {
     let mut seen_hot = false;
     let mut last = None;
     for _ in 0..epochs {
-        let snap = p.step();
+        let snap = p.step().clone();
         let utils = snap.link_utilizations(&p.state);
         let max = utils.iter().cloned().fold(0.0, f64::max);
         if max > threshold {

@@ -94,7 +94,7 @@ fn run_mode(
     let mut last_util = 0.0;
     let mut last_served = 1.0;
     for _ in 0..epochs {
-        let snap = p.step();
+        let snap = p.step().clone();
         let u = snap.switch_utilizations(&p.state)[hot_switch];
         peak = peak.max(u);
         last_util = u;

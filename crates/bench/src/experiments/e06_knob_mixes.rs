@@ -41,7 +41,7 @@ fn run_mix(knobs: KnobFlags, epochs: u64) -> Outcome {
     let mut served_sum = 0.0;
     let mut served_final = 0.0;
     for _ in 0..epochs {
-        let snap = p.step();
+        let snap = p.step().clone();
         served_final = snap.served_fraction();
         served_sum += served_final;
     }

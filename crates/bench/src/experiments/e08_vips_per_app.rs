@@ -37,7 +37,7 @@ fn run_k(k: usize, epochs: u64) -> Outcome {
     let mut last_max = 0.0;
     let mut last_served = 1.0;
     for _ in 0..epochs {
-        let snap = p.step();
+        let snap = p.step().clone();
         last_fair = snap.link_fairness(&p.state);
         last_max = snap
             .link_utilizations(&p.state)

@@ -33,7 +33,7 @@ fn conflict_rate(total_demand_bps: f64, epochs: u64) -> (usize, usize, f64) {
     let mut p = Platform::build(cfg).expect("build");
     let mut snap = None;
     for _ in 0..epochs {
-        snap = Some(p.step());
+        snap = Some(p.step().clone());
     }
     let snap = snap.expect("stepped");
     let link_utils = snap.link_utilizations(&p.state);

@@ -88,7 +88,7 @@ pub(crate) fn run_one(
     let mut served_sum = 0.0;
     let mut overloaded = Vec::with_capacity(epochs as usize);
     for _ in 0..epochs {
-        let snap = p.step();
+        let snap = p.step().clone();
         let served = snap.served_fraction();
         served_sum += served;
         overloaded.push(served < OVERLOAD_THRESHOLD);

@@ -18,6 +18,7 @@ pub mod e15_session_quiescence;
 pub mod e16_proactive_elasticity;
 pub mod e17_misrouting_equilibrium;
 pub mod e18_chaos_sweep;
+pub mod e19_scale;
 
 use crate::Report;
 use std::path::Path;
@@ -49,12 +50,19 @@ pub(crate) fn open_event_sink(path: &Path, label: &str) -> Option<std::fs::File>
     Some(file)
 }
 
-/// Run one experiment by id (`"e1"` … `"e18"`). `quick` shrinks sweeps
+/// Run one experiment by id (`"e1"` … `"e19"`). `quick` shrinks sweeps
 /// for CI. `events`, when set, appends the flight-recorder logs of the
 /// experiment's platform runs to that JSONL file (one `{"run":...}`
 /// header per platform; supported by the platform-driving experiments —
-/// currently E4, E16, E17 and E18 — and ignored by the rest).
-pub fn run_experiment(id: &str, quick: bool, events: Option<&Path>) -> Option<Report> {
+/// currently E4, E16, E17 and E18 — and ignored by the rest). `bench`,
+/// when set, is where E19 writes its `BENCH_scale.json` document
+/// (ignored by every other experiment).
+pub fn run_experiment(
+    id: &str,
+    quick: bool,
+    events: Option<&Path>,
+    bench: Option<&Path>,
+) -> Option<Report> {
     Some(match id {
         "e1" => Report::text_only(id, e01_placement_scaling::run(quick)),
         "e2" => Report::text_only(id, e02_fabric_sizing::run(quick)),
@@ -74,6 +82,7 @@ pub fn run_experiment(id: &str, quick: bool, events: Option<&Path>) -> Option<Re
         "e16" => e16_proactive_elasticity::report(quick, events),
         "e17" => e17_misrouting_equilibrium::report(quick, events),
         "e18" => e18_chaos_sweep::report(quick, events),
+        "e19" => e19_scale::report(quick, bench),
         _ => return None,
     })
 }

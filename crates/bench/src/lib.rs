@@ -1,6 +1,6 @@
 //! # megadc-bench — the experiment harness
 //!
-//! One module per experiment in DESIGN.md's index (E1–E18). Each
+//! One module per experiment in DESIGN.md's index (E1–E19). Each
 //! experiment regenerates the corresponding table from the paper's
 //! analysis (or from the evaluation the paper promises as ongoing work)
 //! and returns it as rendered text; the `expt` binary prints it.
@@ -11,7 +11,7 @@
 //! cargo run --release -p megadc-bench --bin expt -- all
 //! ```
 //!
-//! or a single experiment (`e1` … `e18`). Pass `--quick` for smaller
+//! or a single experiment (`e1` … `e19`). Pass `--quick` for smaller
 //! sweeps (used in CI).
 
 #![forbid(unsafe_code)]
@@ -27,7 +27,7 @@ pub use experiments::run_experiment;
 /// byte-identical line, so JSONL outputs diff cleanly across runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
-    /// Experiment id (`"e1"` … `"e18"`).
+    /// Experiment id (`"e1"` … `"e19"`).
     pub id: String,
     /// The rendered human-readable report.
     pub text: String,
@@ -71,7 +71,7 @@ impl Report {
 }
 
 /// The experiment ids, in order.
-pub const EXPERIMENTS: [&str; 18] = [
+pub const EXPERIMENTS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];

@@ -92,10 +92,12 @@ pub fn run_scenario(
                 }
             }
         }
-        let snap = platform.step();
+        platform.step();
         let fresh = platform.global.recorder.take_events();
-        oracles.check_epoch(epoch, &platform, &snap, &fresh);
-        served_final = snap.served_fraction();
+        if let Some(snap) = platform.last_snapshot() {
+            oracles.check_epoch(epoch, &platform, snap, &fresh);
+            served_final = snap.served_fraction();
+        }
         served_sum += served_final;
         events_recorded += fresh.len();
         if keep_events {

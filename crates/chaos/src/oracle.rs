@@ -530,7 +530,7 @@ mod tests {
         let mut p = quiet_platform();
         let mut oracles = Oracles::new(OracleConfig::default());
         for epoch in 0..30 {
-            let snap = p.step();
+            let snap = p.step().clone();
             let events = p.global.recorder.take_events();
             oracles.check_epoch(epoch, &p, &snap, &events);
         }
@@ -582,7 +582,7 @@ mod tests {
         let mut p = Platform::build(cfg).expect("builds");
         let mut oracles = Oracles::new(OracleConfig::default());
         for epoch in 0..3 {
-            let snap = p.step();
+            let snap = p.step().clone();
             let events = p.global.recorder.take_events();
             oracles.check_epoch(epoch, &p, &snap, &events);
         }

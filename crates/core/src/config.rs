@@ -187,6 +187,13 @@ pub struct PlatformConfig {
     /// start/retire/start flip-flops E17 measured. 0 disables the
     /// cooldown.
     pub scale_in_cooldown_epochs: u32,
+    /// Worker threads for the parallel epoch engine (per-pod planning,
+    /// [`crate::parallel::EpochPool`]). 0 = auto: the `MEGADC_THREADS`
+    /// environment variable when set, else the host's available
+    /// parallelism. Any value yields bit-identical results — the engine's
+    /// reduction order is fixed — so this knob trades wall-clock time
+    /// only.
+    pub threads: usize,
     /// Flight-recorder ring capacity in events; 0 uses
     /// `obs::DEFAULT_RING_CAPACITY`. Long chaos runs that inspect the
     /// ring (rather than draining it every epoch) raise this so verdicts
@@ -247,6 +254,7 @@ impl PlatformConfig {
             vip_starvation_epochs: 5,
             reweight_step: 0.5,
             scale_in_cooldown_epochs: 5,
+            threads: 0,
             event_ring_capacity: 0,
             knobs: KnobFlags::ALL,
             elastic: ElasticConfig::default(),

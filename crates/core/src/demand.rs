@@ -127,21 +127,45 @@ impl LoadSnapshot {
 /// Mutates the switches' offered-load registers (they are the data plane);
 /// everything else is read-only.
 pub fn propagate(state: &mut PlatformState, app_demand_bps: &[f64], now: SimTime) -> LoadSnapshot {
+    let mut snap = LoadSnapshot::default();
+    propagate_into(state, app_demand_bps, now, &mut snap);
+    snap
+}
+
+/// Clear and refill a zeroed `f64` buffer (allocation reused when the
+/// capacity already fits).
+fn fill_zeroed(v: &mut Vec<f64>, n: usize) {
+    v.clear();
+    v.resize(n, 0.0);
+}
+
+/// [`propagate`] into a caller-owned snapshot: every vector and map in
+/// `snap` is cleared and refilled, so the parallel epoch engine's
+/// per-epoch scratch reuses one snapshot's allocations across epochs
+/// instead of paying a fresh `LoadSnapshot` each tick.
+pub fn propagate_into(
+    state: &mut PlatformState,
+    app_demand_bps: &[f64],
+    now: SimTime,
+    snap: &mut LoadSnapshot,
+) {
     assert_eq!(
         app_demand_bps.len(),
         state.num_apps(),
         "demand vector covers all apps"
     );
     let profile = state.config.request_profile;
-    let mut snap = LoadSnapshot {
-        time: now,
-        app_demand_bps: app_demand_bps.to_vec(),
-        link_load_bps: vec![0.0; state.access.num_links()],
-        switch_offered_bps: vec![0.0; state.switches.len()],
-        server_cpu_load: vec![0.0; state.fleet.num_servers()],
-        unserved_bps_by_app: vec![0.0; state.num_apps()],
-        ..LoadSnapshot::default()
-    };
+    snap.time = now;
+    snap.app_demand_bps.clear();
+    snap.app_demand_bps.extend_from_slice(app_demand_bps);
+    fill_zeroed(&mut snap.link_load_bps, state.access.num_links());
+    fill_zeroed(&mut snap.switch_offered_bps, state.switches.len());
+    fill_zeroed(&mut snap.server_cpu_load, state.fleet.num_servers());
+    fill_zeroed(&mut snap.unserved_bps_by_app, state.num_apps());
+    snap.vip_demand_bps.clear();
+    snap.vip_served_bps.clear();
+    snap.vm_cpu_offered.clear();
+    snap.vm_cpu_served.clear();
 
     // --- 1+2: DNS split and routing ------------------------------------
     for app in state.apps() {
@@ -240,7 +264,6 @@ pub fn propagate(state: &mut PlatformState, app_demand_bps: &[f64], now: SimTime
             snap.server_cpu_load[srv.0 as usize] += served_cpu;
         }
     }
-    snap
 }
 
 #[cfg(test)]

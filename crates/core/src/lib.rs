@@ -57,6 +57,7 @@ pub mod demand;
 pub mod energy;
 pub mod global;
 pub mod ids;
+pub mod parallel;
 pub mod platform;
 pub mod pod;
 pub mod sessions;

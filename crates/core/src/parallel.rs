@@ -1,0 +1,160 @@
+//! The deterministic parallel epoch engine.
+//!
+//! Pod managers plan independently — each [`crate::pod::PodManager::plan`]
+//! reads `&PlatformState` + `&LoadSnapshot` and returns a plan without
+//! touching shared state — which is exactly the paper's §III.A
+//! scalability argument. [`EpochPool`] turns that independence into real
+//! OS threads while keeping the platform bit-deterministic:
+//!
+//! * the pod-manager slice is split into **contiguous chunks**, one
+//!   scoped worker thread per chunk ([`std::thread::scope`]);
+//! * chunk results are joined **in spawn order** and concatenated, so the
+//!   output vector is always in pod-index order — the *fixed reduction
+//!   order*. Plans are then applied serially in that order, and the
+//!   serialized VIP/RIP queue remains the only merge point;
+//! * events are emitted only from the serial sections, so flight-recorder
+//!   logs are byte-identical at any thread count (CI pins this).
+//!
+//! The thread count comes from [`crate::config::PlatformConfig::threads`]
+//! (0 = auto: the `MEGADC_THREADS` environment variable when set, else
+//! [`std::thread::available_parallelism`]). A worker panic is re-raised
+//! on the caller via [`std::panic::resume_unwind`].
+
+/// A fixed-width pool of scoped worker threads for per-pod planning.
+///
+/// "Pool" is logical: threads are scoped per call (no persistent workers,
+/// no channels), which keeps the engine free of shared mutable state and
+/// makes the reduction order trivially auditable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochPool {
+    threads: usize,
+}
+
+impl EpochPool {
+    /// A pool of `threads` workers; `0` resolves to the auto thread count
+    /// ([`auto_threads`]). The resolved count is always ≥ 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            auto_threads()
+        } else {
+            threads
+        };
+        EpochPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map `f` over `items`, appending results to `out` in input order
+    /// (the fixed reduction order). `out` is cleared first, so a caller
+    /// can reuse one allocation across epochs.
+    pub fn map_into<T, R, F>(&self, items: &[T], out: &mut Vec<R>, f: F)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        out.clear();
+        let n = items.len();
+        let threads = self.threads.min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            out.extend(items.iter().map(f));
+            return;
+        }
+        let chunk_len = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            // Join in spawn order: chunk k's results land before chunk
+            // k+1's regardless of which worker finishes first.
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+    }
+
+    /// Map `f` over `items` into a fresh vector, in input order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        self.map_into(items, &mut out, f);
+        out
+    }
+}
+
+impl Default for EpochPool {
+    fn default() -> Self {
+        EpochPool::new(0)
+    }
+}
+
+/// The auto thread count: `MEGADC_THREADS` when set to a positive
+/// integer, else the host's available parallelism, else 1.
+pub fn auto_threads() -> usize {
+    std::env::var("MEGADC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_order_is_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..997).collect(); // prime: uneven chunks
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 64, 997, 2000] {
+            let pool = EpochPool::new(threads);
+            let par = pool.map(&items, |&x| x * x + 1);
+            assert_eq!(par, seq, "order broke at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_into_reuses_and_clears_the_buffer() {
+        let pool = EpochPool::new(4);
+        let mut out = vec![99u64; 50];
+        pool.map_into(&[1u64, 2, 3], &mut out, |&x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        pool.map_into(&[], &mut out, |&x: &u64| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_resolves_to_auto_and_is_positive() {
+        assert!(EpochPool::new(0).threads() >= 1);
+        assert!(auto_threads() >= 1);
+        assert_eq!(EpochPool::new(7).threads(), 7);
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_caller() {
+        let pool = EpochPool::new(4);
+        let items: Vec<i32> = (0..100).collect();
+        let caught = std::panic::catch_unwind(|| {
+            pool.map(&items, |&x| {
+                assert!(x != 57, "boom");
+                x
+            })
+        });
+        assert!(caught.is_err(), "worker panic must propagate");
+    }
+}

@@ -11,17 +11,24 @@
 //!
 //! 1. complete in-flight VM transitions (boots, clones, migrations);
 //! 2. propagate the workload's demand down the stack ([`crate::demand`]);
-//! 3. run every pod manager **in parallel** (rayon) — the paper's
+//! 3. run every pod manager **in parallel** on the deterministic epoch
+//!    engine ([`crate::parallel::EpochPool`]) — the paper's
 //!    hierarchical-scalability argument made literal — and apply their
-//!    plans (slice adjustments, instance starts/stops, weight requests);
+//!    plans (slice adjustments, instance starts/stops, weight requests)
+//!    serially in pod-index order;
 //! 4. run the global manager's knobs (§IV) and the serialized VIP/RIP
 //!    queue (§III.C);
 //! 5. bind RIPs for newly running instances and record metrics.
+//!
+//! Per-epoch scratch (the demand vector, the snapshot buffers, the plan
+//! vector) lives in [`Platform`] and is reused across epochs, so the
+//! fluid step allocates only when the platform itself grows.
 
 use crate::config::PlatformConfig;
-use crate::demand::{propagate, LoadSnapshot};
+use crate::demand::{propagate_into, LoadSnapshot};
 use crate::global::GlobalManager;
 use crate::ids::{AppId, PodId};
+use crate::parallel::EpochPool;
 use crate::pod::{PodManager, PodPlan};
 use crate::state::PlatformState;
 use crate::viprip::{Priority, Request, Response};
@@ -31,7 +38,6 @@ use dcsim::SimTime;
 use elastic::{AppObservation, ElasticController, KnobRequest, ProposedAction};
 use lbswitch::SwitchId;
 use obs::{ActionKind, Actor};
-use rayon::prelude::*;
 use std::collections::BTreeMap;
 use vmm::{ServerId, VmId, VmState};
 use workload::Workload;
@@ -86,6 +92,16 @@ pub struct RunReport {
     pub final_pod_util_max: f64,
 }
 
+/// Per-epoch scratch reused across [`Platform::step`] calls: the demand
+/// vector, the snapshot being filled (swapped with `last_snapshot` at
+/// epoch end), and the pod-plan vector the epoch pool reduces into.
+#[derive(Debug, Default)]
+struct EpochScratch {
+    demands: Vec<f64>,
+    snap: LoadSnapshot,
+    plans: Vec<PodPlan>,
+}
+
 /// The assembled mega-data-center platform.
 #[derive(Debug)]
 pub struct Platform {
@@ -100,8 +116,13 @@ pub struct Platform {
     pod_managers: Vec<PodManager>,
     now: SimTime,
     epochs: u64,
-    /// The most recent load snapshot (None before the first step).
-    last_snapshot: Option<LoadSnapshot>,
+    /// The deterministic parallel epoch engine for per-pod planning.
+    pool: EpochPool,
+    /// Per-epoch scratch buffers, reused across epochs.
+    scratch: EpochScratch,
+    /// The most recent load snapshot (meaningful once `epochs > 0`;
+    /// double-buffered against `scratch.snap` so epochs never clone it).
+    last_snapshot: LoadSnapshot,
     /// The proactive control plane (None when `config.elastic.enabled`
     /// is false — the reactive-only baseline).
     elastic: Option<ElasticController>,
@@ -264,7 +285,9 @@ impl Platform {
             pod_managers,
             now,
             epochs: 0,
-            last_snapshot: None,
+            pool: EpochPool::new(config.threads),
+            scratch: EpochScratch::default(),
+            last_snapshot: LoadSnapshot::default(),
             elastic,
             last_scale_out: BTreeMap::new(),
         })
@@ -280,13 +303,37 @@ impl Platform {
         self.epochs
     }
 
-    /// The most recent load snapshot.
+    /// The most recent load snapshot (None before the first step).
     pub fn last_snapshot(&self) -> Option<&LoadSnapshot> {
-        self.last_snapshot.as_ref()
+        (self.epochs > 0).then_some(&self.last_snapshot)
+    }
+
+    /// Worker threads of the parallel epoch engine.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Re-target the parallel epoch engine (0 = auto). Safe mid-run: the
+    /// engine's fixed reduction order makes results independent of the
+    /// thread count, so this only changes wall-clock behaviour.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = EpochPool::new(threads);
+    }
+
+    /// Give every pod a manager (idempotent). Pods appear mid-epoch —
+    /// elephant relief splits pods during the global epoch, and
+    /// [`PlatformState::create_pod`] can be driven externally — and a pod
+    /// without a manager silently skips planning rounds; both call sites
+    /// in [`Platform::step`] funnel here so a pod created at *any* point
+    /// plans on the next pod-manager round.
+    fn sync_pod_managers(&mut self) {
+        for p in self.pod_managers.len()..self.state.num_pods() {
+            self.pod_managers.push(PodManager::new(PodId(p as u32)));
+        }
     }
 
     /// Advance one control epoch; returns the epoch's load snapshot.
-    pub fn step(&mut self) -> LoadSnapshot {
+    pub fn step(&mut self) -> &LoadSnapshot {
         self.now += self.state.config.epoch;
         let now = self.now;
         // Stamp the flight recorder: every event committed until the next
@@ -294,30 +341,33 @@ impl Platform {
         self.global.recorder.begin_epoch(self.epochs, now);
         self.state.fleet.complete_transitions(now);
 
-        // Demand for this epoch.
-        let demands: Vec<f64> = (0..self.state.config.num_apps as u32)
-            .map(|a| self.workload.demand_bps(a, now))
-            .collect();
-        let snap = propagate(&mut self.state, &demands, now);
+        // Demand for this epoch (scratch vector reused across epochs).
+        let num_apps = self.state.config.num_apps as u32;
+        let demands = &mut self.scratch.demands;
+        demands.clear();
+        let workload = &self.workload;
+        demands.extend((0..num_apps).map(|a| workload.demand_bps(a, now)));
+        let mut snap = std::mem::take(&mut self.scratch.snap);
+        propagate_into(&mut self.state, &self.scratch.demands, now, &mut snap);
 
         // Pod managers decide in parallel — one Tang-controller run per
-        // pod, which is exactly the scalability mechanism of §III.A.
-        if self.pod_managers.len() != self.state.num_pods() {
-            // Pods may have been created (elephant relief): grow managers.
-            for p in self.pod_managers.len()..self.state.num_pods() {
-                self.pod_managers.push(PodManager::new(PodId(p as u32)));
-            }
+        // pod, which is exactly the scalability mechanism of §III.A. The
+        // epoch pool collects the plans in pod-index order (the fixed
+        // reduction order), and they are applied serially below, so any
+        // thread count produces bit-identical state and event logs.
+        self.sync_pod_managers();
+        let mut plans = std::mem::take(&mut self.scratch.plans);
+        {
+            let state_ref = &self.state;
+            let snap_ref = &snap;
+            self.pool.map_into(&self.pod_managers, &mut plans, |pm| {
+                pm.plan(state_ref, snap_ref)
+            });
         }
-        let state_ref = &self.state;
-        let snap_ref = &snap;
-        let plans: Vec<PodPlan> = self
-            .pod_managers
-            .par_iter()
-            .map(|pm| pm.plan(state_ref, snap_ref))
-            .collect();
-        for plan in plans {
+        for plan in plans.drain(..) {
             self.apply_pod_plan(plan, now);
         }
+        self.scratch.plans = plans;
 
         // Proactive plane (when enabled): forecast next epochs' demand
         // and actuate ahead of it. Runs before the global epoch so its
@@ -333,10 +383,8 @@ impl Platform {
         self.bind_missing_rips();
 
         // Pods may have been created during the global epoch (elephant
-        // relief): give them managers immediately.
-        for p in self.pod_managers.len()..self.state.num_pods() {
-            self.pod_managers.push(PodManager::new(PodId(p as u32)));
-        }
+        // relief): give them managers immediately so they plan next round.
+        self.sync_pod_managers();
 
         // Metrics.
         let link_max = max_of(&snap.link_utilizations(&self.state));
@@ -369,8 +417,11 @@ impl Platform {
         ]);
 
         self.epochs += 1;
-        self.last_snapshot = Some(snap.clone());
-        snap
+        // Double-buffer: this epoch's snapshot becomes `last_snapshot`,
+        // and the previous one's allocations become next epoch's scratch.
+        std::mem::swap(&mut self.last_snapshot, &mut snap);
+        self.scratch.snap = snap;
+        &self.last_snapshot
     }
 
     /// The proactive controller, when enabled.
@@ -905,8 +956,18 @@ impl Platform {
     }
 }
 
+/// Maximum of a utilization slice under [`f64::total_cmp`].
+///
+/// `fold(0.0, f64::max)` silently absorbed NaN (`f64::max(NaN, x) = x`),
+/// masking a corrupted utilization as "no load". Under the total order a
+/// NaN sorts above every number, so corruption surfaces in the metric
+/// instead of disappearing. An empty slice (a platform with no
+/// links/switches/pods in ablation setups) is explicitly zero load.
 fn max_of(v: &[f64]) -> f64 {
-    v.iter().copied().fold(0.0, f64::max)
+    v.iter()
+        .copied()
+        .max_by(|a, b| a.total_cmp(b))
+        .unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -1148,6 +1209,31 @@ mod tests {
         p.step();
         assert!(p.state.num_pods() > 2);
         assert_eq!(p.pod_managers.len(), p.state.num_pods());
+        p.state.assert_invariants();
+    }
+
+    /// Regression test for the unified mid-epoch sync point: a pod
+    /// created externally between epochs (no elephant relief involved)
+    /// must get a manager and plan on the very next `step()`. Before the
+    /// sync points were funnelled into `sync_pod_managers`, an
+    /// externally-created pod silently skipped planning rounds.
+    #[test]
+    fn externally_created_pod_plans_next_epoch() {
+        let mut p = Platform::build(PlatformConfig::small_test()).unwrap();
+        p.step();
+        let pods_before = p.state.num_pods();
+        let samples_before = p.metrics.decision_times.len();
+        p.state.create_pod();
+        assert_eq!(p.pod_managers.len(), pods_before); // manager not yet synced
+        p.step();
+        assert_eq!(p.state.num_pods(), pods_before + 1);
+        assert_eq!(p.pod_managers.len(), p.state.num_pods());
+        // Every pod — including the brand-new empty one — planned this
+        // epoch: `apply_pod_plan` records one decision-time sample per pod.
+        assert_eq!(
+            p.metrics.decision_times.len() - samples_before,
+            pods_before + 1
+        );
         p.state.assert_invariants();
     }
 }

@@ -47,7 +47,7 @@ fn main() {
     ]);
     let total_epochs = 300u64; // 50 simulated minutes
     for i in 0..total_epochs {
-        let snap = platform.step();
+        let snap = platform.step().clone();
         if i % 15 == 0 {
             let demand = snap.app_demand_bps[victim as usize];
             let served = snap.served_fraction();

@@ -68,7 +68,7 @@ fn main() {
         "route updates",
     ]);
     for i in 0..120u64 {
-        let snap = platform.step();
+        let snap = platform.step().clone();
         if i % 10 == 0 {
             let u = snap.link_utilizations(&platform.state);
             t.row([

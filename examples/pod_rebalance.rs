@@ -29,7 +29,7 @@ fn main() {
         "decisions p99 (ms)",
     ]);
     for i in 0..240u64 {
-        let snap = platform.step();
+        let snap = platform.step().clone();
         if i % 20 == 0 {
             let u = snap.pod_utilizations(&platform.state);
             let max = u.iter().cloned().fold(0.0, f64::max);

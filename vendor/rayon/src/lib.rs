@@ -1,81 +1,203 @@
 //! Offline stand-in for `rayon`: the parallel-iterator entry points the
-//! workspace uses (`par_iter`, `into_par_iter`) evaluated **sequentially**.
+//! workspace uses (`par_iter`, `into_par_iter`), executed on real OS
+//! threads with a **deterministic, input-order reduction**.
 //!
-//! The build environment cannot fetch the real `rayon`. Because the
-//! adapters return ordinary [`std::iter::Iterator`]s, every downstream
-//! combinator (`map`, `collect`, …) works unchanged; only the actual
-//! parallelism is lost, which affects wall-clock time, never results —
-//! the workspace's pod managers are deterministic and order-independent
-//! by construction.
+//! The build environment cannot fetch the real `rayon`, so this crate
+//! reimplements the narrow slice the workspace needs:
+//!
+//! - the input is materialized, split into contiguous chunks, and each
+//!   chunk is mapped on its own scoped thread
+//!   ([`std::thread::scope`]);
+//! - chunk results are joined and concatenated **in input order**, so
+//!   `collect()`/`sum()` observe exactly the sequence a sequential run
+//!   would produce, regardless of which thread finished first;
+//! - a worker panic is re-raised on the caller via
+//!   [`std::panic::resume_unwind`], matching rayon's propagation.
+//!
+//! Results are therefore bit-identical at any thread count — parallelism
+//! affects wall-clock time only *because the reduction order is fixed
+//! here*, not as a property of the callers. The thread count comes from
+//! the `MEGADC_THREADS` environment variable when set (a positive
+//! integer), else [`std::thread::available_parallelism`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Worker-thread count: `MEGADC_THREADS` when set and positive, else the
+/// host's available parallelism, else 1.
+pub fn num_threads() -> usize {
+    std::env::var("MEGADC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` scoped worker threads,
+/// contiguous chunks, results concatenated in input order.
+fn map_ordered<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `threads` contiguous chunks (order preserved).
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        // Join in spawn order — the fixed reduction order.
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// A materialized "parallel" iterator: holds the items and defers work
+/// until a consuming combinator (`collect`, `sum`) runs the threaded map.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Attach the mapping closure (runs threaded at consumption time).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A pending threaded map over materialized items.
+#[derive(Debug)]
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        map_ordered(self.items, num_threads(), self.f)
+    }
+
+    /// Execute on worker threads and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Execute on worker threads and sum results in input order.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
 
 /// The rayon prelude: parallel-iterator conversion traits.
 pub mod prelude {
-    /// Consuming conversion: `into_par_iter()` (sequential here).
+    use super::ParIter;
+
+    /// Consuming conversion: `into_par_iter()`.
     pub trait IntoParallelIterator {
         /// Element type.
-        type Item;
-        /// Iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Convert into a "parallel" (here: sequential) iterator.
-        fn into_par_iter(self) -> Self::Iter;
+        type Item: Send;
+        /// Convert into a parallel iterator (materializes the input).
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
         type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
-    /// Borrowing conversion: `par_iter()` (sequential here).
+    /// Borrowing conversion: `par_iter()`.
     pub trait IntoParallelRefIterator<'data> {
         /// Element type (a reference).
-        type Item;
-        /// Iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Iterate by reference, "in parallel" (here: sequentially).
-        fn par_iter(&'data self) -> Self::Iter;
+        type Item: Send;
+        /// Iterate by reference, in parallel.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
     impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
     where
         &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: Send,
     {
         type Item = <&'data C as IntoIterator>::Item;
-        type Iter = <&'data C as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'data self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
-    /// Mutable borrowing conversion: `par_iter_mut()` (sequential here).
+    /// Mutable borrowing conversion: `par_iter_mut()`.
     pub trait IntoParallelRefMutIterator<'data> {
         /// Element type (a mutable reference).
-        type Item;
-        /// Iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Iterate by mutable reference, sequentially.
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
+        type Item: Send;
+        /// Iterate by mutable reference, in parallel.
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
     }
 
     impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
     where
         &'data mut C: IntoIterator,
+        <&'data mut C as IntoIterator>::Item: Send,
     {
         type Item = <&'data mut C as IntoIterator>::Item;
-        type Iter = <&'data mut C as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 }
 
+// `ParIter`/`ParMap` are exported at the crate root (as in real rayon's
+// `rayon::iter`); the prelude carries only the conversion traits.
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_iter_matches_iter() {
@@ -84,5 +206,41 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6, 8]);
         let sum: i32 = (0..5).into_par_iter().map(|x| x * x).sum();
         assert_eq!(sum, 30);
+    }
+
+    #[test]
+    fn order_is_input_order_at_any_thread_count() {
+        let input: Vec<usize> = (0..1000).collect();
+        let seq: Vec<usize> = input.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 16, 1000, 5000] {
+            let par = map_ordered(input.clone(), threads, |x| x * 3 + 1);
+            assert_eq!(par, seq, "order broke at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn uneven_chunks_cover_all_items() {
+        // n not divisible by threads: the trailing short chunk must be kept.
+        let out = map_ordered((0..10).collect::<Vec<i32>>(), 4, |x| x);
+        assert_eq!(out, (0..10).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let out: Vec<i32> = map_ordered(Vec::<i32>::new(), 8, |x| x);
+        assert!(out.is_empty());
+        let out = map_ordered(vec![41], 8, |x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            let _: Vec<i32> = map_ordered((0..100).collect::<Vec<i32>>(), 4, |x| {
+                assert!(x != 57, "boom");
+                x
+            });
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
     }
 }
