@@ -16,6 +16,13 @@
 //!   pair is ordered by the serialized VIP/RIP queue or explicitly
 //!   guarded. The generated matrix is embedded in DESIGN.md and kept in
 //!   sync by the same gate.
+//! * **Pass 3 (phases, [`phase`])** — validates the epoch-phase effect
+//!   declarations in [`megadc::phases`] (parallel phases publish only
+//!   through ordered reductions; non-commutative merges declare their
+//!   order), lints every `EpochPool` region closure in `crates/core`
+//!   against its declaration (no undeclared shared writes, no interior
+//!   mutability, no raw threading outside the pool), and keeps the
+//!   generated parallel safety matrix in DESIGN.md in sync.
 //!
 //! See DESIGN.md §"Static analysis & conflict matrix" for the allowlist
 //! and ratchet workflow.
@@ -26,6 +33,7 @@
 pub mod allowlist;
 pub mod conflict;
 pub mod lint;
+pub mod phase;
 pub mod source;
 
 use allowlist::Allowlist;
@@ -34,11 +42,16 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
-/// Marker opening the generated block in DESIGN.md.
+/// Marker opening the generated conflict-matrix block in DESIGN.md.
 pub const MATRIX_BEGIN: &str =
     "<!-- BEGIN GENERATED conflict-matrix (edit crates/obs/src/footprint.rs, then run `cargo run -p analyze -- --write`) -->";
-/// Marker closing the generated block in DESIGN.md.
+/// Marker closing the generated conflict-matrix block in DESIGN.md.
 pub const MATRIX_END: &str = "<!-- END GENERATED conflict-matrix -->";
+/// Marker opening the generated parallel-safety-matrix block in DESIGN.md.
+pub const PHASES_BEGIN: &str =
+    "<!-- BEGIN GENERATED parallel-safety-matrix (edit crates/obs/src/phases.rs, then run `cargo run -p analyze -- --write`) -->";
+/// Marker closing the generated parallel-safety-matrix block in DESIGN.md.
+pub const PHASES_END: &str = "<!-- END GENERATED parallel-safety-matrix -->";
 
 /// Everything one analysis run produced.
 #[derive(Debug, Default)]
@@ -100,21 +113,39 @@ pub fn analyze_workspace(root: &Path) -> Report {
     // ---- pass 2: conflicts -------------------------------------------------
     report.errors.extend(conflict::production_check());
 
-    // ---- generated matrix sync ----------------------------------------------
-    let generated = conflict::production_matrix();
+    // ---- pass 3: phases ------------------------------------------------------
+    report.errors.extend(phase::production_check(root));
+
+    // ---- generated block sync ------------------------------------------------
     match fs::read_to_string(&design_path) {
-        Ok(design) => match extract_block(&design) {
-            Some(embedded) if embedded.trim() == generated.trim() => {}
-            Some(_) => report.errors.push(
-                "[conflict-matrix] the generated matrix in DESIGN.md is stale; run \
-                 `cargo run -p analyze -- --write`"
-                    .into(),
-            ),
-            None => report.errors.push(format!(
-                "[conflict-matrix] DESIGN.md does not contain the generated block \
-                 ({MATRIX_BEGIN} … {MATRIX_END}); run `cargo run -p analyze -- --write`"
-            )),
-        },
+        Ok(design) => {
+            for (label, begin, end, generated) in [
+                (
+                    "conflict-matrix",
+                    MATRIX_BEGIN,
+                    MATRIX_END,
+                    conflict::production_matrix(),
+                ),
+                (
+                    "parallel-safety-matrix",
+                    PHASES_BEGIN,
+                    PHASES_END,
+                    phase::production_matrix(),
+                ),
+            ] {
+                match extract_block_between(&design, begin, end) {
+                    Some(embedded) if embedded.trim() == generated.trim() => {}
+                    Some(_) => report.errors.push(format!(
+                        "[{label}] the generated block in DESIGN.md is stale; run \
+                         `cargo run -p analyze -- --write`"
+                    )),
+                    None => report.errors.push(format!(
+                        "[{label}] DESIGN.md does not contain the generated block \
+                         ({begin} … {end}); run `cargo run -p analyze -- --write`"
+                    )),
+                }
+            }
+        }
         Err(e) => report
             .errors
             .push(format!("[conflict-matrix] cannot read DESIGN.md: {e}")),
@@ -168,12 +199,15 @@ fn apply_allowlist(findings: &[Finding], allowlist: &Allowlist, report: &mut Rep
             _ => {}
         }
     }
-    // A ratchet entry for a crate with zero findings should be zeroed.
+    // A ratchet entry for a crate with zero findings is a stale
+    // suppression: it would silently absorb future regressions. Hard
+    // error (run `analyze --write` to zero it automatically).
     for (krate, &baseline) in &allowlist.ratchets {
         if baseline > 0 && !panicking_per_crate.contains_key(krate) {
-            report.warnings.push(format!(
+            report.errors.push(format!(
                 "[panicking] crate `{krate}` has no findings but a ratchet baseline of \
-                 {baseline}; lower it to 0"
+                 {baseline}; stale suppressions rot — run `cargo run -p analyze -- \
+                 --write` to zero it"
             ));
         }
     }
@@ -202,38 +236,97 @@ fn apply_allowlist(findings: &[Finding], allowlist: &Allowlist, report: &mut Rep
             ));
         }
     }
-    // Allow entries pointing at clean files are stale.
+    // Allow entries pointing at clean files are stale suppressions:
+    // hard error (run `analyze --write` to drop them automatically).
     for ((rule, file), &allowed) in &allowlist.allows {
         if allowed > 0 && !per_rule_file.contains_key(&(rule.clone(), file.clone())) {
-            report.warnings.push(format!(
+            report.errors.push(format!(
                 "[{rule}] {file}: allowlist permits {allowed} but the file is clean; \
-                 remove the entry"
+                 stale suppressions rot — run `cargo run -p analyze -- --write` to \
+                 drop the entry"
             ));
         }
     }
 }
 
-/// Extract the generated block (exclusive of markers) from DESIGN.md.
-pub fn extract_block(design: &str) -> Option<&str> {
-    let start = design.find(MATRIX_BEGIN)? + MATRIX_BEGIN.len();
-    let end = design[start..].find(MATRIX_END)? + start;
-    Some(&design[start..end])
+/// Satellite of the ratchet workflow: rewrite `allowlist.txt` so every
+/// count matches what was actually measured, *downward only* — an
+/// `analyze --write` locks improvements in instead of leaving "lower the
+/// baseline" warnings to rot. Comments, blank lines and entry order are
+/// preserved; entries whose measured count is zero are dropped. Counts
+/// are never raised (a regression still needs a deliberate hand edit).
+pub fn ratchet_allowlist_down(text: &str, findings: &[Finding]) -> String {
+    let mut panicking_per_crate: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut per_rule_file: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for f in findings {
+        if f.rule == "panicking" {
+            *panicking_per_crate.entry(f.krate.as_str()).or_default() += 1;
+        } else {
+            *per_rule_file.entry((f.rule, f.file.as_str())).or_default() += 1;
+        }
+    }
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let body = line.split('#').next().unwrap_or("").trim();
+        let parts: Vec<&str> = body.split_whitespace().collect();
+        let rewritten = match parts.as_slice() {
+            ["ratchet", "panicking", krate, count] => {
+                let measured = panicking_per_crate.get(krate).copied().unwrap_or(0);
+                let baseline: usize = count.parse().unwrap_or(0);
+                let new = baseline.min(measured);
+                (new != baseline).then(|| format!("ratchet panicking {krate} {new}"))
+            }
+            ["allow", rule, file, count] => {
+                let measured = per_rule_file.get(&(rule, file)).copied().unwrap_or(0);
+                let allowed: usize = count.parse().unwrap_or(0);
+                let new = allowed.min(measured);
+                if new == 0 {
+                    continue; // clean file: drop the stale entry entirely
+                }
+                (new != allowed).then(|| format!("allow {rule} {file} {new}"))
+            }
+            _ => None,
+        };
+        match rewritten {
+            Some(l) => out.push_str(&l),
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
 }
 
-/// Replace (or append) the generated block in DESIGN.md; returns the new
+/// Extract a generated block (exclusive of its markers) from DESIGN.md.
+pub fn extract_block_between<'a>(design: &'a str, begin: &str, end: &str) -> Option<&'a str> {
+    let start = design.find(begin)? + begin.len();
+    let stop = design[start..].find(end)? + start;
+    Some(&design[start..stop])
+}
+
+/// Replace (or append) a generated block in DESIGN.md; returns the new
 /// file contents.
-pub fn splice_block(design: &str, generated: &str) -> String {
-    let block = format!("{MATRIX_BEGIN}\n\n{generated}\n{MATRIX_END}");
-    match (design.find(MATRIX_BEGIN), design.find(MATRIX_END)) {
+pub fn splice_block_between(design: &str, begin: &str, end: &str, generated: &str) -> String {
+    let block = format!("{begin}\n\n{generated}\n{end}");
+    match (design.find(begin), design.find(end)) {
         (Some(s), Some(e)) if e > s => {
             let mut out = String::with_capacity(design.len() + generated.len());
             out.push_str(&design[..s]);
             out.push_str(&block);
-            out.push_str(&design[e + MATRIX_END.len()..]);
+            out.push_str(&design[e + end.len()..]);
             out
         }
         _ => format!("{design}\n{block}\n"),
     }
+}
+
+/// Extract the generated conflict-matrix block from DESIGN.md.
+pub fn extract_block(design: &str) -> Option<&str> {
+    extract_block_between(design, MATRIX_BEGIN, MATRIX_END)
+}
+
+/// Replace (or append) the generated conflict-matrix block in DESIGN.md.
+pub fn splice_block(design: &str, generated: &str) -> String {
+    splice_block_between(design, MATRIX_BEGIN, MATRIX_END, generated)
 }
 
 /// The workspace root this crate was built in (two levels above the
@@ -258,5 +351,81 @@ mod tests {
         let b = extract_block(&v2).unwrap();
         assert!(b.contains("MATRIX v2") && !b.contains("MATRIX v1"));
         assert_eq!(v2.matches(MATRIX_BEGIN).count(), 1);
+    }
+
+    #[test]
+    fn both_generated_blocks_coexist() {
+        let design = "# Doc\n\nbody\n";
+        let v1 = splice_block_between(design, MATRIX_BEGIN, MATRIX_END, "CONFLICTS");
+        let v2 = splice_block_between(&v1, PHASES_BEGIN, PHASES_END, "PHASES");
+        assert_eq!(
+            extract_block_between(&v2, MATRIX_BEGIN, MATRIX_END)
+                .unwrap()
+                .trim(),
+            "CONFLICTS"
+        );
+        assert_eq!(
+            extract_block_between(&v2, PHASES_BEGIN, PHASES_END)
+                .unwrap()
+                .trim(),
+            "PHASES"
+        );
+        // Re-splicing one block leaves the other untouched.
+        let v3 = splice_block_between(&v2, MATRIX_BEGIN, MATRIX_END, "CONFLICTS2");
+        assert_eq!(
+            extract_block_between(&v3, PHASES_BEGIN, PHASES_END)
+                .unwrap()
+                .trim(),
+            "PHASES"
+        );
+    }
+
+    fn finding(rule: &'static str, krate: &str, file: &str) -> Finding {
+        Finding {
+            rule,
+            krate: krate.into(),
+            file: file.into(),
+            line: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn ratchet_down_lowers_drops_and_preserves() {
+        let text = "# header comment\n\
+                    ratchet panicking core 90\n\
+                    ratchet panicking obs 4\n\
+                    \n\
+                    allow wall-clock crates/core/src/pod.rs 2  # inline note\n\
+                    allow float-cmp crates/core/src/energy.rs 2\n";
+        let findings = vec![
+            finding("panicking", "core", "crates/core/src/pod.rs"),
+            finding("panicking", "core", "crates/core/src/pod.rs"),
+            finding("wall-clock", "core", "crates/core/src/pod.rs"),
+            finding("float-cmp", "core", "crates/core/src/energy.rs"),
+            finding("float-cmp", "core", "crates/core/src/energy.rs"),
+        ];
+        let out = ratchet_allowlist_down(text, &findings);
+        // Measured 2 < baseline 90 → lowered; obs measured 0 → zeroed.
+        assert!(out.contains("ratchet panicking core 2\n"), "{out}");
+        assert!(out.contains("ratchet panicking obs 0\n"), "{out}");
+        // wall-clock measured 1 < allowed 2 → lowered (comment dropped).
+        assert!(out.contains("allow wall-clock crates/core/src/pod.rs 1\n"));
+        // float-cmp at its measured count → kept verbatim.
+        assert!(out.contains("allow float-cmp crates/core/src/energy.rs 2\n"));
+        // Comments and blank lines survive.
+        assert!(out.starts_with("# header comment\n"));
+        assert!(out.contains("\n\n"));
+        // Counts are never raised.
+        let more = vec![finding("panicking", "core", "f"); 200];
+        let raised = ratchet_allowlist_down(text, &more);
+        assert!(raised.contains("ratchet panicking core 90\n"));
+    }
+
+    #[test]
+    fn ratchet_down_drops_clean_file_entries() {
+        let text = "allow wall-clock crates/core/src/gone.rs 3\n";
+        let out = ratchet_allowlist_down(text, &[]);
+        assert!(!out.contains("gone.rs"), "{out}");
     }
 }

@@ -464,6 +464,33 @@ fn rel(root: &Path, p: &Path) -> String {
         .replace('\\', "/")
 }
 
+// ---- shared helpers for the phase pass (crate::phase) -------------------
+
+/// Public alias of [`rust_files`] for sibling passes.
+pub fn rust_files_in(dir: &Path) -> Vec<PathBuf> {
+    rust_files(dir)
+}
+
+/// Public alias of [`rel`] for sibling passes.
+pub fn rel_path(root: &Path, p: &Path) -> String {
+    rel(root, p)
+}
+
+/// Word-boundary token presence check over arbitrary text.
+pub fn has_token(text: &str, word: &str) -> bool {
+    mentions_word(text, word)
+}
+
+/// First word-boundary occurrence of `word` in `line`.
+pub fn token_at(line: &str, word: &str) -> Option<usize> {
+    find_token(line, word)
+}
+
+/// All word-boundary occurrences of `needle` in `line`.
+pub fn token_positions_in(line: &str, needle: &str) -> Vec<usize> {
+    token_positions(line, needle)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -166,6 +166,128 @@ fn full_pipeline_fails_a_seeded_workspace_and_names_the_rules() {
     }
 }
 
+/// A fixture region declaration matching the fixture workspaces below.
+fn fixture_regions() -> Vec<megadc::obs::phases::RegionDecl> {
+    vec![megadc::obs::phases::RegionDecl {
+        id: "pod-planning",
+        konst: "REGION_POD_PLANNING",
+        phase: "pod-planning",
+        file: "crates/core/src/planner.rs",
+        shared_reads: &["state"],
+        thread_local: &[],
+    }]
+}
+
+#[test]
+fn undeclared_write_inside_a_parallel_region_is_caught() {
+    use analyze::phase::lint_regions;
+    let root = fixture_root("fx-phase-write");
+    // The closure pushes into a captured Vec — a shared-mutable write
+    // that is neither closure-local nor declared thread_local.
+    write(
+        &root,
+        "crates/core/src/planner.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn plan(pool: &EpochPool, state: &State, log: &mut Vec<u32>) {\n\
+             let mut out = Vec::new();\n\
+             pool.map_into(REGION_POD_PLANNING, &state.pods, &mut out, |pod| {\n\
+                 log.push(pod.id);\n\
+                 state.score(pod)\n\
+             });\n\
+         }\n",
+    );
+    let errors = lint_regions(&root, &fixture_regions());
+    assert!(
+        errors.iter().any(|e| e.starts_with("[phase-region]")
+            && e.contains("planner.rs")
+            && e.contains("log")),
+        "undeclared write not caught: {errors:#?}"
+    );
+}
+
+#[test]
+fn declared_thread_local_write_is_accepted() {
+    use analyze::phase::lint_regions;
+    let root = fixture_root("fx-phase-clean");
+    // Same shape, but the only writes are to closure-locals.
+    write(
+        &root,
+        "crates/core/src/planner.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn plan(pool: &EpochPool, state: &State) -> Vec<u32> {\n\
+             let mut out = Vec::new();\n\
+             pool.map_into(REGION_POD_PLANNING, &state.pods, &mut out, |pod| {\n\
+                 let mut acc = 0;\n\
+                 acc += state.score(pod);\n\
+                 acc\n\
+             });\n\
+             out\n\
+         }\n",
+    );
+    let errors = lint_regions(&root, &fixture_regions());
+    assert!(errors.is_empty(), "clean fixture flagged: {errors:#?}");
+}
+
+#[test]
+fn unlabeled_region_and_raw_threading_are_caught() {
+    use analyze::phase::lint_regions;
+    let root = fixture_root("fx-phase-raw");
+    write(
+        &root,
+        "crates/core/src/planner.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn plan(pool: &EpochPool, state: &State) {\n\
+             let mut out = Vec::new();\n\
+             pool.map_into(\"mystery\", &state.pods, &mut out, |pod| state.score(pod));\n\
+             std::thread::scope(|s| { s.spawn(|| state.audit()); });\n\
+         }\n",
+    );
+    let errors = lint_regions(&root, &fixture_regions());
+    assert!(
+        errors
+            .iter()
+            .any(|e| e.contains("no declared REGION_* label")),
+        "unlabeled call site not caught: {errors:#?}"
+    );
+    assert!(
+        errors.iter().any(|e| e.contains("thread::scope")),
+        "raw thread::scope not caught: {errors:#?}"
+    );
+    // The declared region has no call site in this workspace → stale.
+    assert!(
+        errors.iter().any(|e| e.contains("stale declarations")),
+        "stale region not caught: {errors:#?}"
+    );
+}
+
+#[test]
+fn interior_mutability_inside_a_region_is_caught() {
+    use analyze::phase::lint_regions;
+    let root = fixture_root("fx-phase-mutex");
+    write(
+        &root,
+        "crates/core/src/planner.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn plan(pool: &EpochPool, state: &State, shared: &std::sync::Mutex<u32>) {\n\
+             let mut out = Vec::new();\n\
+             pool.map_into(REGION_POD_PLANNING, &state.pods, &mut out, |pod| {\n\
+                 let slot: &Mutex<u32> = shared;\n\
+                 *slot.lock().unwrap() += 1;\n\
+                 state.score(pod)\n\
+             });\n\
+         }\n",
+    );
+    let errors = lint_regions(&root, &fixture_regions());
+    // The synchronization token itself is banned — a locked write is
+    // scheduler-ordered, which is exactly what the engine forbids.
+    assert!(
+        errors
+            .iter()
+            .any(|e| e.starts_with("[phase-region]") && e.contains("`Mutex`")),
+        "Mutex in region not caught: {errors:#?}"
+    );
+}
+
 #[test]
 fn missing_global_action_emit_site_is_flagged() {
     use analyze::lint::lint_emit_coverage;

@@ -1,0 +1,297 @@
+//! Bench-report comparison (the `benchcmp` CI gate, as a library).
+//!
+//! [`compare`] takes two parsed `BENCH_scale.json` documents and
+//! produces a [`CompareReport`]: every `(tier, thread)` wall-time
+//! present on both sides is checked against the tolerance band, and
+//! every key present on only one side is *named* in the report — a key
+//! mismatch is never a panic and never a silent skip.
+//!
+//! Schema problems (missing `tiers`, a tier without a `label`, an empty
+//! or non-numeric `wall_per_epoch_s` map, duplicate keys) are `Err`s
+//! that say which document and which tier is malformed, so a truncated
+//! or hand-edited baseline fails loudly instead of gating nothing.
+
+use obs::json::Json;
+use std::fmt::Write as _;
+
+/// One `(tier, thread-key)` wall-time compared across both documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    pub tier: String,
+    pub threads: String,
+    pub baseline_s: f64,
+    pub candidate_s: f64,
+    /// `candidate / baseline - 1` (positive = slower).
+    pub delta_frac: f64,
+    pub regression: bool,
+}
+
+/// The outcome of comparing two bench documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    pub tolerance: f64,
+    /// Measurements present on both sides, in baseline order.
+    pub rows: Vec<Row>,
+    /// `(tier, thread)` keys only the baseline has (e.g. a full run
+    /// gating a `--quick` candidate).
+    pub only_baseline: Vec<(String, String)>,
+    /// `(tier, thread)` keys only the candidate has (e.g. a new tier
+    /// not yet in the committed baseline).
+    pub only_candidate: Vec<(String, String)>,
+}
+
+impl CompareReport {
+    /// Number of measurements compared on both sides.
+    pub fn compared(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of compared measurements beyond the tolerance band.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regression).count()
+    }
+
+    /// True when at least one measurement overlapped and none regressed.
+    pub fn passed(&self) -> bool {
+        !self.rows.is_empty() && self.regressions() == 0
+    }
+
+    /// Render the per-measurement table plus the mismatch diff.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "benchcmp: tolerance +{:.0}%", self.tolerance * 100.0);
+        let _ = writeln!(
+            out,
+            "{:<8} {:<6} {:>12} {:>12} {:>9}  verdict",
+            "tier", "t", "baseline s", "candidate s", "delta"
+        );
+        for r in &self.rows {
+            let verdict = if r.regression { "REGRESSION" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "{:<8} {:<6} {:>12.4} {:>12.4} {:>+8.1}%  {verdict}",
+                r.tier,
+                r.threads,
+                r.baseline_s,
+                r.candidate_s,
+                r.delta_frac * 100.0
+            );
+        }
+        for (tier, threads) in &self.only_baseline {
+            let _ = writeln!(
+                out,
+                "{tier:<8} {threads:<6} only in baseline — not compared (candidate lacks this key)"
+            );
+        }
+        for (tier, threads) in &self.only_candidate {
+            let _ = writeln!(
+                out,
+                "{tier:<8} {threads:<6} only in candidate — not compared (baseline lacks this key)"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "benchcmp: {} compared, {} regressed, {} baseline-only, {} candidate-only",
+            self.compared(),
+            self.regressions(),
+            self.only_baseline.len(),
+            self.only_candidate.len()
+        );
+        out
+    }
+}
+
+/// Extract the `(tier, thread-key, seconds)` triples of one document,
+/// validating the schema as it goes. `side` names the document in error
+/// messages (`"baseline"` / `"candidate"`).
+pub fn extract(doc: &Json, side: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let Some(tiers) = doc.get("tiers") else {
+        return Err(format!("{side}: no \"tiers\" key — not a bench document"));
+    };
+    let Some(tiers) = tiers.as_arr() else {
+        return Err(format!("{side}: \"tiers\" is not an array"));
+    };
+    if tiers.is_empty() {
+        return Err(format!("{side}: \"tiers\" is empty — nothing to compare"));
+    }
+    let mut out: Vec<(String, String, f64)> = Vec::new();
+    for (i, tier) in tiers.iter().enumerate() {
+        let Some(label) = tier.get("label").and_then(|l| l.as_str()) else {
+            return Err(format!("{side}: tiers[{i}] has no string \"label\""));
+        };
+        let Some(wall) = tier.get("wall_per_epoch_s").and_then(|w| w.as_obj()) else {
+            return Err(format!(
+                "{side}: tier {label:?} has no \"wall_per_epoch_s\" object"
+            ));
+        };
+        if wall.is_empty() {
+            return Err(format!(
+                "{side}: tier {label:?} has an empty \"wall_per_epoch_s\" map"
+            ));
+        }
+        for (key, val) in wall {
+            let Some(s) = val.as_f64() else {
+                return Err(format!(
+                    "{side}: tier {label:?} wall_per_epoch_s[{key:?}] is not a number"
+                ));
+            };
+            if !s.is_finite() || s <= 0.0 {
+                return Err(format!(
+                    "{side}: tier {label:?} wall_per_epoch_s[{key:?}] = {s} is not a \
+                     positive finite wall time"
+                ));
+            }
+            if out.iter().any(|(l, k, _)| l == label && k == key) {
+                return Err(format!(
+                    "{side}: duplicate measurement (tier {label:?}, threads {key:?})"
+                ));
+            }
+            out.push((label.to_string(), key.clone(), s));
+        }
+    }
+    Ok(out)
+}
+
+/// Compare two parsed bench documents. `Err` means a malformed document
+/// or zero overlapping measurements (the diff is spelled out in the
+/// message); `Ok` carries the per-measurement verdicts and the
+/// one-sided keys.
+pub fn compare(baseline: &Json, candidate: &Json, tolerance: f64) -> Result<CompareReport, String> {
+    let base = extract(baseline, "baseline")?;
+    let cand = extract(candidate, "candidate")?;
+    let mut rows = Vec::new();
+    let mut only_baseline = Vec::new();
+    for (tier, threads, b) in &base {
+        match cand.iter().find(|(t, k, _)| t == tier && k == threads) {
+            Some((_, _, c)) => rows.push(Row {
+                tier: tier.clone(),
+                threads: threads.clone(),
+                baseline_s: *b,
+                candidate_s: *c,
+                delta_frac: c / b - 1.0,
+                regression: *c > b * (1.0 + tolerance),
+            }),
+            None => only_baseline.push((tier.clone(), threads.clone())),
+        }
+    }
+    let only_candidate: Vec<(String, String)> = cand
+        .iter()
+        .filter(|(t, k, _)| !base.iter().any(|(bt, bk, _)| bt == t && bk == k))
+        .map(|(t, k, _)| (t.clone(), k.clone()))
+        .collect();
+    if rows.is_empty() {
+        let fmt = |keys: &[(String, String)]| {
+            keys.iter()
+                .map(|(t, k)| format!("({t}, {k})"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        return Err(format!(
+            "no overlapping (tier, threads) measurements — baseline has [{}], \
+             candidate has [{}]; did the tier labels or thread keys change?",
+            fmt(&only_baseline),
+            fmt(&only_candidate)
+        ));
+    }
+    Ok(CompareReport {
+        tolerance,
+        rows,
+        only_baseline,
+        only_candidate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(body: &str) -> Json {
+        obs::json::parse(body).expect("test doc parses")
+    }
+
+    fn bench(tiers: &str) -> Json {
+        doc(&format!("{{\"bench\":\"scale\",\"tiers\":[{tiers}]}}"))
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_counts() {
+        let b = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0,"t4":0.5}}"#);
+        let c = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":1.05,"t4":0.52}}"#);
+        let rep = compare(&b, &c, 0.15).expect("comparable");
+        assert_eq!(rep.compared(), 2);
+        assert_eq!(rep.regressions(), 0);
+        assert!(rep.passed());
+        assert!(rep.only_baseline.is_empty() && rep.only_candidate.is_empty());
+    }
+
+    #[test]
+    fn regression_beyond_band_is_flagged_not_fatal() {
+        let b = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0}}"#);
+        let c = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":1.30}}"#);
+        let rep = compare(&b, &c, 0.15).expect("comparable");
+        assert_eq!(rep.regressions(), 1);
+        assert!(!rep.passed());
+        assert!(rep.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn one_sided_keys_are_reported_never_silently_skipped() {
+        let b = bench(
+            r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0}},
+               {"label":"100k","wall_per_epoch_s":{"t1":4.0}}"#,
+        );
+        let c = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0,"t8":0.3}}"#);
+        let rep = compare(&b, &c, 0.15).expect("comparable");
+        assert_eq!(rep.compared(), 1);
+        assert_eq!(rep.only_baseline, vec![("100k".into(), "t1".into())]);
+        assert_eq!(rep.only_candidate, vec![("30k".into(), "t8".into())]);
+        let rendered = rep.render();
+        assert!(rendered.contains("only in baseline"));
+        assert!(rendered.contains("only in candidate"));
+    }
+
+    #[test]
+    fn zero_overlap_is_an_error_naming_both_key_sets() {
+        let b = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0}}"#);
+        let c = bench(r#"{"label":"small","wall_per_epoch_s":{"threads1":1.0}}"#);
+        let err = compare(&b, &c, 0.15).expect_err("no overlap");
+        assert!(err.contains("(30k, t1)"), "{err}");
+        assert!(err.contains("(small, threads1)"), "{err}");
+        assert!(err.contains("did the tier labels or thread keys change?"));
+    }
+
+    #[test]
+    fn schema_violations_name_the_document_and_tier() {
+        let missing_tiers = doc(r#"{"bench":"scale"}"#);
+        let ok = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0}}"#);
+        let err = compare(&missing_tiers, &ok, 0.15).expect_err("schema");
+        assert!(err.contains("baseline") && err.contains("tiers"), "{err}");
+
+        let unlabeled = bench(r#"{"wall_per_epoch_s":{"t1":1.0}}"#);
+        let err = compare(&ok, &unlabeled, 0.15).expect_err("schema");
+        assert!(err.contains("candidate") && err.contains("label"), "{err}");
+
+        let empty_wall = bench(r#"{"label":"30k","wall_per_epoch_s":{}}"#);
+        let err = compare(&empty_wall, &ok, 0.15).expect_err("schema");
+        assert!(err.contains("empty"), "{err}");
+
+        let bad_value = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":-2.0}}"#);
+        let err = compare(&ok, &bad_value, 0.15).expect_err("schema");
+        assert!(err.contains("positive finite"), "{err}");
+
+        let non_number = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":"fast"}}"#);
+        let err = compare(&ok, &non_number, 0.15).expect_err("schema");
+        assert!(err.contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_tier_thread_keys_are_rejected() {
+        let dup = bench(
+            r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0}},
+               {"label":"30k","wall_per_epoch_s":{"t1":1.1}}"#,
+        );
+        let ok = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0}}"#);
+        let err = compare(&dup, &ok, 0.15).expect_err("duplicate");
+        assert!(err.contains("duplicate"), "{err}");
+    }
+}

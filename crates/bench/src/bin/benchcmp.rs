@@ -9,10 +9,16 @@
 //! For every tier present in *both* documents and every thread count in
 //! both `wall_per_epoch_s` maps, the candidate must satisfy
 //! `candidate <= baseline * (1 + tolerance)` (default 0.15, i.e. a >15%
-//! per-epoch wall-time regression fails). Tiers or thread counts present
-//! only on one side are reported and skipped — a baseline regenerated at
-//! `--quick` (30k tier only) still gates a full candidate run. Exit code
-//! 0 = within tolerance, 1 = regression, 2 = usage/parse error.
+//! per-epoch wall-time regression fails). Keys present on only one side
+//! are *named* in the output and excluded from the verdict — a baseline
+//! regenerated at `--quick` (30k tier only) still gates a full
+//! candidate run — and zero overlap is a hard error spelling out both
+//! key sets, so a renamed tier or thread key can never pass vacuously.
+//! Malformed documents (missing `tiers`, unlabeled tiers, empty or
+//! non-numeric wall maps) are errors too, never panics or silent
+//! skips; the comparison itself lives in `megadc_bench::benchcmp`.
+//! Exit code 0 = within tolerance, 1 = regression, 2 = usage/parse/
+//! schema error.
 //!
 //! Wall-clock measurements are inherently noisy; the tolerance band is
 //! the contract. Improvements are never failures — ratcheting the
@@ -20,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 
+use megadc_bench::benchcmp;
 use obs::json::Json;
 use std::process::ExitCode;
 
@@ -31,28 +38,6 @@ fn usage() -> ExitCode {
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     obs::json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
-}
-
-/// The `(label, thread-key, seconds)` triples of a bench document.
-fn walls(doc: &Json) -> Vec<(String, String, f64)> {
-    let mut out = Vec::new();
-    let Some(tiers) = doc.get("tiers").and_then(|t| t.as_arr()) else {
-        return out;
-    };
-    for tier in tiers {
-        let Some(label) = tier.get("label").and_then(|l| l.as_str()) else {
-            continue;
-        };
-        let Some(wall) = tier.get("wall_per_epoch_s").and_then(|w| w.as_obj()) else {
-            continue;
-        };
-        for (key, val) in wall {
-            if let Some(s) = val.as_f64() {
-                out.push((label.to_string(), key.clone(), s));
-            }
-        }
-    }
-    out
 }
 
 fn main() -> ExitCode {
@@ -78,56 +63,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let base = walls(&baseline);
-    let cand = walls(&candidate);
-    if base.is_empty() || cand.is_empty() {
-        eprintln!("benchcmp: no wall_per_epoch_s measurements on one side");
-        return ExitCode::from(2);
-    }
-    let mut regressions = 0usize;
-    let mut compared = 0usize;
-    println!("benchcmp: tolerance +{:.0}%", tolerance * 100.0);
-    println!(
-        "{:<8} {:<6} {:>12} {:>12} {:>9}  verdict",
-        "tier", "t", "baseline s", "candidate s", "delta"
-    );
-    for (label, key, b) in &base {
-        let Some((_, _, c)) = cand.iter().find(|(cl, ck, _)| cl == label && ck == key) else {
-            println!(
-                "{label:<8} {key:<6} {b:>12.4} {:>12}         - skipped (absent in candidate)",
-                "-"
-            );
-            continue;
-        };
-        compared += 1;
-        let delta = c / b - 1.0;
-        let verdict = if *c <= b * (1.0 + tolerance) {
-            "ok"
-        } else {
-            regressions += 1;
-            "REGRESSION"
-        };
-        println!(
-            "{label:<8} {key:<6} {b:>12.4} {c:>12.4} {:>+8.1}%  {verdict}",
-            delta * 100.0
-        );
-    }
-    for (label, key, _) in &cand {
-        if !base.iter().any(|(bl, bk, _)| bl == label && bk == key) {
-            println!(
-                "{label:<8} {key:<6} {:>12} {:>12}         - new (absent in baseline)",
-                "-", "-"
-            );
+    let report = match benchcmp::compare(&baseline, &candidate, tolerance) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchcmp: {e}");
+            return ExitCode::from(2);
         }
-    }
-    if compared == 0 {
-        eprintln!("benchcmp: no overlapping (tier, threads) measurements");
-        return ExitCode::from(2);
-    }
-    if regressions > 0 {
-        eprintln!("benchcmp: {regressions}/{compared} measurements regressed beyond tolerance");
+    };
+    print!("{}", report.render());
+    if report.regressions() > 0 {
+        eprintln!(
+            "benchcmp: {}/{} measurements regressed beyond tolerance",
+            report.regressions(),
+            report.compared()
+        );
         return ExitCode::FAILURE;
     }
-    println!("benchcmp: all {compared} measurements within tolerance");
+    println!(
+        "benchcmp: all {} measurements within tolerance",
+        report.compared()
+    );
     ExitCode::SUCCESS
 }

@@ -16,9 +16,10 @@
 //! evenly across thread counts instead of biasing the later ones.
 //!
 //! Besides the measured speedup the report derives the *parallel
-//! fraction* — the serialized planning seconds (sum of per-pod decision
-//! times) over the single-thread epoch wall time — and the Amdahl
-//! prediction for 4 threads. On hosts without real parallelism (CI
+//! fraction* — the seconds per epoch spent in the declared parallel
+//! regions (pod planning plus the route/serve stages of demand
+//! propagation) over the single-thread epoch wall time — and the
+//! Amdahl prediction for 4 threads. On hosts without real parallelism (CI
 //! containers pinned to one core report `available_parallelism = 1`)
 //! the measured speedup degenerates to ~1× while the parallel fraction
 //! still shows what the engine would buy; `host_parallelism` is
@@ -49,8 +50,15 @@ pub(crate) struct TierResult {
     rounds: usize,
     /// Mean wall seconds per epoch, parallel to [`THREADS`].
     wall_per_epoch_s: Vec<f64>,
-    /// Serialized per-epoch planning seconds (sum of pod decision times).
+    /// Per-epoch planning seconds (sum of pod decision times), measured
+    /// over the t=1 epochs only so it is commensurable with `wall(1)`.
     plan_s_per_epoch: f64,
+    /// Per-epoch seconds in the parallel demand-propagation stages
+    /// (route + serve, `PlatformMetrics::propagation_times`), t=1
+    /// epochs only — at higher thread counts on an oversubscribed host
+    /// the same regions take longer inside, which would overstate the
+    /// single-thread fraction.
+    demand_s_per_epoch: f64,
     served_final: f64,
 }
 
@@ -68,13 +76,14 @@ impl TierResult {
         self.wall(1) / self.wall(4)
     }
 
-    /// Fraction of the single-thread epoch spent in (parallelizable)
-    /// pod planning. `decision_time` covers the controller solve inside
-    /// `PodManager::plan`, not the problem assembly around it, so this
-    /// is a *lower bound* on what threads can attack; the remainder is
-    /// dominated by serial demand propagation at these tiers.
+    /// Fraction of the single-thread epoch spent in declared parallel
+    /// regions: pod planning (`decision_time` now covers problem
+    /// assembly plus the controller solve) plus the route/serve stages
+    /// of demand propagation (`propagation_times`). Still a lower
+    /// bound on what threads can attack — plan application, the
+    /// global knobs, and the VIP/RIP queue remain serial.
     fn parallel_fraction(&self) -> f64 {
-        (self.plan_s_per_epoch / self.wall(1)).clamp(0.0, 1.0)
+        ((self.plan_s_per_epoch + self.demand_s_per_epoch) / self.wall(1)).clamp(0.0, 1.0)
     }
 
     /// Amdahl's-law speedup prediction at 4 workers given the measured
@@ -113,20 +122,27 @@ fn run_tier(label: &str, apps: usize, rounds: usize) -> TierResult {
     // Warm-up: let the initial scale-out burst decay before timing.
     p.run_epochs(2);
 
-    let plan_samples0 = p.metrics.decision_times.len();
     let mut wall_total = vec![0.0f64; THREADS.len()];
+    let mut plan_total = 0.0f64;
+    let mut demand_total = 0.0f64;
     for _round in 0..rounds {
         for (i, &threads) in THREADS.iter().enumerate() {
             p.set_threads(threads);
+            let plan_samples0 = p.metrics.decision_times.len();
+            let demand_samples0 = p.metrics.propagation_times.len();
             let t0 = Instant::now();
             p.step();
             wall_total[i] += t0.elapsed().as_secs_f64();
+            if threads == 1 {
+                plan_total += p.metrics.decision_times.values()[plan_samples0..]
+                    .iter()
+                    .sum::<f64>();
+                demand_total += p.metrics.propagation_times.values()[demand_samples0..]
+                    .iter()
+                    .sum::<f64>();
+            }
         }
     }
-    let measured_epochs = rounds * THREADS.len();
-    let plan_total: f64 = p.metrics.decision_times.values()[plan_samples0..]
-        .iter()
-        .sum();
     let served_final = p
         .last_snapshot()
         .map(|s| s.served_fraction())
@@ -139,7 +155,8 @@ fn run_tier(label: &str, apps: usize, rounds: usize) -> TierResult {
         build_s,
         rounds,
         wall_per_epoch_s: wall_total.iter().map(|w| w / rounds as f64).collect(),
-        plan_s_per_epoch: plan_total / measured_epochs as f64,
+        plan_s_per_epoch: plan_total / rounds as f64,
+        demand_s_per_epoch: demand_total / rounds as f64,
         served_final,
     }
 }
@@ -185,6 +202,8 @@ fn bench_json(quick: bool, tiers: &[TierResult]) -> String {
         }
         out.push_str("},\"plan_s_per_epoch\":");
         obs::json::write_f64(tier.plan_s_per_epoch, &mut out);
+        out.push_str(",\"demand_s_per_epoch\":");
+        obs::json::write_f64(tier.demand_s_per_epoch, &mut out);
         out.push_str(",\"parallel_fraction\":");
         obs::json::write_f64(tier.parallel_fraction(), &mut out);
         out.push_str(",\"speedup_t4\":");
@@ -290,6 +309,7 @@ mod tests {
         assert!(tier.pods >= 1 && tier.vms >= 600);
         assert!(tier.wall_per_epoch_s.iter().all(|&w| w > 0.0));
         assert!(tier.plan_s_per_epoch >= 0.0);
+        assert!(tier.demand_s_per_epoch > 0.0);
         assert!((0.0..=1.0).contains(&tier.parallel_fraction()));
         assert!(tier.amdahl_t4() >= 1.0);
         let doc = bench_json(true, &[tier]);
@@ -303,5 +323,9 @@ mod tests {
             .and_then(|w| w.get("t4"))
             .and_then(|v| v.as_f64())
             .is_some());
+        assert!(first
+            .get("demand_s_per_epoch")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|d| d > 0.0));
     }
 }

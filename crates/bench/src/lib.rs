@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod benchcmp;
 pub mod experiments;
 
 pub use experiments::run_experiment;

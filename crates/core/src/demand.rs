@@ -19,14 +19,45 @@
 //!
 //! The output [`LoadSnapshot`] carries every quantity the paper's control
 //! knobs and the experiments observe.
+//!
+//! ## Parallel propagation
+//!
+//! Stages 1+2 (per-app) and stage 4 (per-VIP) are read-only over the
+//! platform state, so they run on the [`crate::parallel::EpochPool`] as
+//! the declared regions [`obs::phases::REGION_DEMAND_ROUTE`] and
+//! [`obs::phases::REGION_DEMAND_SERVE`]. Determinism is preserved by
+//! construction, not by luck:
+//!
+//! * work is split into **fixed index blocks** of [`DEMAND_BLOCK`]
+//!   items, so the grouping never depends on the thread count;
+//! * each block's partial is a list of *individual contributions* in
+//!   visit order — `(app, bps)`, `(vip, bps)`, `(link, bps)`, … — not a
+//!   pre-summed map;
+//! * the serial merge replays the contributions block by block, which
+//!   reproduces **exactly the operation sequence of the old serial
+//!   loop**. Float accumulation never regroups, so the snapshot is
+//!   bit-identical at any thread count, under any `MEGADC_SHUFFLE`
+//!   seed, and to the pre-parallel implementation.
+//!
+//! Stage 3 stays serial: it mutates the switches' offered-load
+//! registers (phase `demand-switch-reset` in [`obs::phases`]).
 
 use crate::ids::vip_prefix;
+use crate::parallel::EpochPool;
 use crate::state::PlatformState;
 use dcsim::metrics::{jains_fairness, max_mean_ratio};
 use dcsim::SimTime;
 use lbswitch::VipAddr;
+use obs::phases::{REGION_DEMAND_ROUTE, REGION_DEMAND_SERVE};
 use std::collections::BTreeMap;
 use vmm::VmId;
+
+/// Fixed block size for parallel propagation. Chosen so a paper-scale
+/// tier (30k apps, ~60k VIPs) yields enough blocks to load 8+ workers
+/// while a small test tier still takes the serial fast path. Changing
+/// this value regroups float accumulation and therefore changes
+/// low-order output bits — it is part of the determinism contract.
+pub const DEMAND_BLOCK: usize = 512;
 
 /// Everything observed during one propagation epoch.
 #[derive(Debug, Clone, Default)]
@@ -122,13 +153,20 @@ impl LoadSnapshot {
     }
 }
 
-/// Propagate `app_demand_bps` through the platform at time `now`.
+/// Propagate `app_demand_bps` through the platform at time `now`,
+/// serially (a one-worker pool, sanitizer off).
 ///
 /// Mutates the switches' offered-load registers (they are the data plane);
 /// everything else is read-only.
 pub fn propagate(state: &mut PlatformState, app_demand_bps: &[f64], now: SimTime) -> LoadSnapshot {
     let mut snap = LoadSnapshot::default();
-    propagate_into(state, app_demand_bps, now, &mut snap);
+    propagate_into(
+        state,
+        app_demand_bps,
+        now,
+        &mut snap,
+        &EpochPool::with_shuffle(1, None),
+    );
     snap
 }
 
@@ -139,16 +177,46 @@ fn fill_zeroed(v: &mut Vec<f64>, n: usize) {
     v.resize(n, 0.0);
 }
 
+/// Per-block partial of the DNS-split + routing stage: individual
+/// contributions in visit order, replayed serially at the merge so float
+/// accumulation order matches the serial loop exactly.
+#[derive(Default)]
+struct RoutePartial {
+    /// `(app index, lost bps)` — unreachable shares.
+    unserved: Vec<(usize, f64)>,
+    /// `(vip, bps)` — one entry per app×VIP contribution.
+    vip_demand: Vec<(VipAddr, f64)>,
+    /// `(link index, bps)` — one entry per route×link contribution.
+    link_load: Vec<(usize, f64)>,
+}
+
+/// Per-block partial of the serving stage, same contribution-list
+/// discipline as [`RoutePartial`].
+#[derive(Default)]
+struct ServePartial {
+    unserved: Vec<(usize, f64)>,
+    vip_served: Vec<(VipAddr, f64)>,
+    vm_offered: Vec<(VmId, f64)>,
+    vm_served: Vec<(VmId, f64)>,
+    server_load: Vec<(usize, f64)>,
+}
+
 /// [`propagate`] into a caller-owned snapshot: every vector and map in
 /// `snap` is cleared and refilled, so the parallel epoch engine's
 /// per-epoch scratch reuses one snapshot's allocations across epochs
 /// instead of paying a fresh `LoadSnapshot` each tick.
+///
+/// The read-only stages run on `pool` (see the module docs for the
+/// determinism argument). Returns the wall-clock seconds spent in the
+/// two parallel stages — the platform records it so E19 can measure the
+/// parallel fraction of the epoch.
 pub fn propagate_into(
     state: &mut PlatformState,
     app_demand_bps: &[f64],
     now: SimTime,
     snap: &mut LoadSnapshot,
-) {
+    pool: &EpochPool,
+) -> f64 {
     assert_eq!(
         app_demand_bps.len(),
         state.num_apps(),
@@ -167,47 +235,73 @@ pub fn propagate_into(
     snap.vm_cpu_offered.clear();
     snap.vm_cpu_served.clear();
 
-    // --- 1+2: DNS split and routing ------------------------------------
-    for app in state.apps() {
-        let demand = app_demand_bps[app.id.0 as usize];
-        if demand <= 0.0 {
-            continue;
+    // --- 1+2: DNS split and routing (parallel, region demand-route) -----
+    let mut route_parts: Vec<RoutePartial> = Vec::new();
+    let route_started = std::time::Instant::now();
+    {
+        let st: &PlatformState = &*state;
+        pool.map_blocks_into(
+            REGION_DEMAND_ROUTE,
+            st.num_apps(),
+            DEMAND_BLOCK,
+            &mut route_parts,
+            |range| {
+                let mut part = RoutePartial::default();
+                for app in &st.apps()[range] {
+                    let demand = app_demand_bps[app.id.0 as usize];
+                    if demand <= 0.0 {
+                        continue;
+                    }
+                    let shares = st.dns.effective_shares(app.id.dns_key(), now);
+                    if shares.is_empty() {
+                        part.unserved.push((app.id.0 as usize, demand));
+                        continue;
+                    }
+                    for (vip, share) in shares {
+                        let vd = demand * share;
+                        if vd <= 0.0 {
+                            continue;
+                        }
+                        let routes = st.routes.preferred_routes(vip_prefix(vip), now);
+                        if routes.is_empty() {
+                            part.unserved.push((app.id.0 as usize, vd));
+                            continue;
+                        }
+                        part.vip_demand.push((vip, vd));
+                        let per_router = vd / routes.len() as f64;
+                        for r in routes {
+                            let links: Vec<_> =
+                                st.access.links_at_router(r.router).map(|l| l.id).collect();
+                            if links.is_empty() {
+                                continue;
+                            }
+                            let per_link = per_router / links.len() as f64;
+                            for l in links {
+                                part.link_load.push((l.index(), per_link));
+                            }
+                        }
+                    }
+                }
+                part
+            },
+        );
+    }
+    let route_seconds = route_started.elapsed().as_secs_f64();
+    // Merge: replay contributions in block order — the exact operation
+    // sequence of the serial loop, so every float is bit-identical.
+    for part in &route_parts {
+        for &(app_idx, bps) in &part.unserved {
+            snap.unserved_bps_by_app[app_idx] += bps;
         }
-        let shares = state.dns.effective_shares(app.id.dns_key(), now);
-        if shares.is_empty() {
-            snap.unserved_bps_by_app[app.id.0 as usize] += demand;
-            continue;
-        }
-        for (vip, share) in shares {
-            let vd = demand * share;
-            if vd <= 0.0 {
-                continue;
-            }
-            let routes = state.routes.preferred_routes(vip_prefix(vip), now);
-            if routes.is_empty() {
-                snap.unserved_bps_by_app[app.id.0 as usize] += vd;
-                continue;
-            }
+        for &(vip, vd) in &part.vip_demand {
             *snap.vip_demand_bps.entry(vip).or_insert(0.0) += vd;
-            let per_router = vd / routes.len() as f64;
-            for r in routes {
-                let links: Vec<_> = state
-                    .access
-                    .links_at_router(r.router)
-                    .map(|l| l.id)
-                    .collect();
-                if links.is_empty() {
-                    continue;
-                }
-                let per_link = per_router / links.len() as f64;
-                for l in links {
-                    snap.link_load_bps[l.index()] += per_link;
-                }
-            }
+        }
+        for &(link_idx, bps) in &part.link_load {
+            snap.link_load_bps[link_idx] += bps;
         }
     }
 
-    // --- 3: switches ------------------------------------------------------
+    // --- 3: switches (serial, phase demand-switch-reset) -----------------
     // Reset every VIP's offered load, then set the live ones.
     let all_vips: Vec<VipAddr> = state.vips().map(|(v, _)| v).collect();
     for vip in all_vips {
@@ -221,49 +315,87 @@ pub fn propagate_into(
         snap.switch_offered_bps[i] = sw.offered_bps();
     }
 
-    // --- 4: RIPs → VMs → servers ----------------------------------------
-    let vips_with_demand: Vec<VipAddr> = snap.vip_demand_bps.keys().copied().collect();
-    for vip in vips_with_demand {
-        let rec = *state.vip(vip).expect("listed");
-        let app_idx = rec.app.0 as usize;
-        let sw = &state.switches[rec.switch.0 as usize];
-        // Switch-capacity overflow for this VIP (uniform scaling).
-        let offered = snap.vip_demand_bps[&vip];
-        let dist = sw.distribute_vip(vip).expect("configured");
-        let distributed: f64 = dist.iter().map(|&(_, b)| b).sum();
-        if offered > distributed {
-            snap.unserved_bps_by_app[app_idx] += offered - distributed;
-        }
-        for (rip, bps) in dist {
-            if bps <= 0.0 {
-                continue;
-            }
-            let vm_id = match state.rip(rip) {
-                Ok(r) => r.vm,
-                Err(_) => {
-                    snap.unserved_bps_by_app[app_idx] += bps;
-                    continue;
+    // --- 4: RIPs → VMs → servers (parallel, region demand-serve) ---------
+    let vips: Vec<VipAddr> = snap.vip_demand_bps.keys().copied().collect();
+    let vip_demand: Vec<f64> = snap.vip_demand_bps.values().copied().collect();
+    let mut serve_parts: Vec<ServePartial> = Vec::new();
+    let serve_started = std::time::Instant::now();
+    {
+        let st: &PlatformState = &*state;
+        pool.map_blocks_into(
+            REGION_DEMAND_SERVE,
+            vips.len(),
+            DEMAND_BLOCK,
+            &mut serve_parts,
+            |range| {
+                let mut part = ServePartial::default();
+                for i in range {
+                    let vip = vips[i];
+                    let rec = *st.vip(vip).expect("listed");
+                    let app_idx = rec.app.0 as usize;
+                    let sw = &st.switches[rec.switch.0 as usize];
+                    // Switch-capacity overflow for this VIP (uniform scaling).
+                    let offered = vip_demand[i];
+                    let dist = sw.distribute_vip(vip).expect("configured");
+                    let distributed: f64 = dist.iter().map(|&(_, b)| b).sum();
+                    if offered > distributed {
+                        part.unserved.push((app_idx, offered - distributed));
+                    }
+                    for (rip, bps) in dist {
+                        if bps <= 0.0 {
+                            continue;
+                        }
+                        let vm_id = match st.rip(rip) {
+                            Ok(r) => r.vm,
+                            Err(_) => {
+                                part.unserved.push((app_idx, bps));
+                                continue;
+                            }
+                        };
+                        let vm = st.fleet.vm(vm_id).expect("RIP references live VM");
+                        if !vm.state.serves_traffic() {
+                            part.unserved.push((app_idx, bps));
+                            continue;
+                        }
+                        let cpu = profile.cpu_demand(profile.rps_for_bandwidth(bps));
+                        let served_cpu = cpu.min(vm.cpu_slice);
+                        if cpu > served_cpu {
+                            let lost_rps = (cpu - served_cpu) / profile.cpu_per_req;
+                            part.unserved
+                                .push((app_idx, profile.bandwidth_bps(lost_rps)));
+                        }
+                        let served_rps = served_cpu / profile.cpu_per_req;
+                        part.vip_served
+                            .push((vip, profile.bandwidth_bps(served_rps)));
+                        part.vm_offered.push((vm_id, cpu));
+                        part.vm_served.push((vm_id, served_cpu));
+                        let srv = st.fleet.locate(vm_id).expect("live VM");
+                        part.server_load.push((srv.0 as usize, served_cpu));
+                    }
                 }
-            };
-            let vm = state.fleet.vm(vm_id).expect("RIP references live VM");
-            if !vm.state.serves_traffic() {
-                snap.unserved_bps_by_app[app_idx] += bps;
-                continue;
-            }
-            let cpu = profile.cpu_demand(profile.rps_for_bandwidth(bps));
-            let served_cpu = cpu.min(vm.cpu_slice);
-            if cpu > served_cpu {
-                let lost_rps = (cpu - served_cpu) / profile.cpu_per_req;
-                snap.unserved_bps_by_app[app_idx] += profile.bandwidth_bps(lost_rps);
-            }
-            let served_rps = served_cpu / profile.cpu_per_req;
-            *snap.vip_served_bps.entry(vip).or_insert(0.0) += profile.bandwidth_bps(served_rps);
+                part
+            },
+        );
+    }
+    let serve_seconds = serve_started.elapsed().as_secs_f64();
+    for part in &serve_parts {
+        for &(app_idx, bps) in &part.unserved {
+            snap.unserved_bps_by_app[app_idx] += bps;
+        }
+        for &(vip, bps) in &part.vip_served {
+            *snap.vip_served_bps.entry(vip).or_insert(0.0) += bps;
+        }
+        for &(vm_id, cpu) in &part.vm_offered {
             *snap.vm_cpu_offered.entry(vm_id).or_insert(0.0) += cpu;
-            *snap.vm_cpu_served.entry(vm_id).or_insert(0.0) += served_cpu;
-            let srv = state.fleet.locate(vm_id).expect("live VM");
-            snap.server_cpu_load[srv.0 as usize] += served_cpu;
+        }
+        for &(vm_id, cpu) in &part.vm_served {
+            *snap.vm_cpu_served.entry(vm_id).or_insert(0.0) += cpu;
+        }
+        for &(srv_idx, cpu) in &part.server_load {
+            snap.server_cpu_load[srv_idx] += cpu;
         }
     }
+    route_seconds + serve_seconds
 }
 
 #[cfg(test)]

@@ -73,6 +73,11 @@ pub mod viprip;
 /// here to keep the `megadc::footprint` path stable.
 pub use obs::footprint;
 
+/// The declared effect sets of the epoch phases and parallel regions
+/// (the `EpochPool` side of what [`footprint`] does for global actions),
+/// re-exported so `megadc::phases::REGION_*` is a stable path.
+pub use obs::phases;
+
 /// Re-export the whole `obs` crate so downstream tools that only depend
 /// on `megadc` (e.g. `analyze`) can reach event-kind tables like
 /// [`obs::FAULT_KINDS`] without a direct dependency.

@@ -55,8 +55,13 @@ pub struct PlatformMetrics {
     pub pod_util_max: TimeSeries,
     /// Fraction of offered demand served.
     pub served_fraction: TimeSeries,
-    /// Pod-manager decision times (seconds, wall clock).
+    /// Pod-manager decision times (seconds, wall clock), covering
+    /// problem assembly plus the controller solve.
     pub decision_times: Samples,
+    /// Wall-clock seconds spent in the parallel stages of demand
+    /// propagation, one sample per epoch (E19's parallel-fraction
+    /// numerator alongside `decision_times`).
+    pub propagation_times: Samples,
     /// Total placement changes decided by pod managers.
     pub placement_changes: Counter,
     /// Slice adjustments applied.
@@ -320,6 +325,15 @@ impl Platform {
         self.pool = EpochPool::new(threads);
     }
 
+    /// Arm (or disarm) the schedule-shuffle sanitizer on the live pool,
+    /// independent of the `MEGADC_SHUFFLE` environment variable — tests
+    /// use this to sweep seeds without `set_var` races. Like
+    /// [`Platform::set_threads`], this only perturbs scheduling; the
+    /// fixed reduction order keeps every observable byte-identical.
+    pub fn set_shuffle(&mut self, shuffle: Option<u64>) {
+        self.pool = EpochPool::with_shuffle(self.pool.threads(), shuffle);
+    }
+
     /// Give every pod a manager (idempotent). Pods appear mid-epoch —
     /// elephant relief splits pods during the global epoch, and
     /// [`PlatformState::create_pod`] can be driven externally — and a pod
@@ -348,7 +362,14 @@ impl Platform {
         let workload = &self.workload;
         demands.extend((0..num_apps).map(|a| workload.demand_bps(a, now)));
         let mut snap = std::mem::take(&mut self.scratch.snap);
-        propagate_into(&mut self.state, &self.scratch.demands, now, &mut snap);
+        let propagation_s = propagate_into(
+            &mut self.state,
+            &self.scratch.demands,
+            now,
+            &mut snap,
+            &self.pool,
+        );
+        self.metrics.propagation_times.record(propagation_s);
 
         // Pod managers decide in parallel — one Tang-controller run per
         // pod, which is exactly the scalability mechanism of §III.A. The
@@ -360,9 +381,12 @@ impl Platform {
         {
             let state_ref = &self.state;
             let snap_ref = &snap;
-            self.pool.map_into(&self.pod_managers, &mut plans, |pm| {
-                pm.plan(state_ref, snap_ref)
-            });
+            self.pool.map_into(
+                obs::phases::REGION_POD_PLANNING,
+                &self.pod_managers,
+                &mut plans,
+                |pm| pm.plan(state_ref, snap_ref),
+            );
         }
         for plan in plans.drain(..) {
             self.apply_pod_plan(plan, now);

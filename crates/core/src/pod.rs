@@ -19,8 +19,9 @@
 //!   VIP/RIP queue, so each VIP's in-pod weights track the new allocation
 //!   while the pod's total weight stays fixed.
 //!
-//! The pod manager's **decision time** — the wall-clock cost of its
-//! controller run — is measured and reported; it is the quantity that
+//! The pod manager's **decision time** — the wall-clock cost of one full
+//! planning round (problem assembly plus the controller run, the whole
+//! threaded region) — is measured and reported; it is the quantity that
 //! blows up on *elephant pods* (§IV.C) and that experiment E1/E5 track.
 
 use crate::demand::LoadSnapshot;
@@ -48,8 +49,9 @@ pub struct PodPlan {
     /// Per-VIP intra-pod weight requests (to be submitted to the VIP/RIP
     /// manager): `(vip, [(vm, relative weight)])` (§IV.F).
     pub weight_requests: Vec<(VipAddr, Vec<(VmId, f64)>)>,
-    /// Wall-clock time the placement controller took — the pod manager's
-    /// decision cost (§IV.C's elephant-pod signal).
+    /// Wall-clock time the planning round took (problem assembly plus
+    /// the placement controller) — the pod manager's decision cost
+    /// (§IV.C's elephant-pod signal).
     pub decision_time: SimDuration,
     /// Number of placement changes (instance starts + stops) the
     /// controller decided on.
@@ -84,6 +86,10 @@ impl PodManager {
     /// respect to the platform; the returned [`PodPlan`] is applied by the
     /// platform loop (with actuation latencies).
     pub fn plan(&self, state: &PlatformState, snapshot: &LoadSnapshot) -> PodPlan {
+        // Decision time covers the whole threaded region — problem
+        // assembly *and* the controller solve — since both run on the
+        // epoch pool and both scale with pod size.
+        let started = std::time::Instant::now();
         // Failed servers are invisible to the planner: their instances are
         // already gone, and nothing may be placed on them.
         let servers: Vec<ServerId> = state
@@ -157,7 +163,6 @@ impl PodManager {
             }
         }
 
-        let started = std::time::Instant::now();
         let next = self.controller.compute(&problem, Some(&incumbent));
         let decision_time = SimDuration::from_secs_f64(started.elapsed().as_secs_f64());
 

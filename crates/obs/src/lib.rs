@@ -21,6 +21,10 @@
 //! * [`explain`] — causal-chain reconstruction for a VIP/app/epoch and
 //!   the runtime-vs-declared footprint cross-check, exposed as
 //!   `cargo run -p obs -- explain`;
+//! * [`phases`] — the declared effect sets of every epoch phase and
+//!   every closure entering `megadc::parallel::EpochPool`, consumed by
+//!   the `analyze` phase checker and the generated parallel safety
+//!   matrix in DESIGN.md;
 //! * [`json`] — the hand-rolled deterministic JSON writer/parser (the
 //!   vendored serde is a no-op stub).
 //!
@@ -32,6 +36,7 @@
 pub mod explain;
 pub mod footprint;
 pub mod json;
+pub mod phases;
 
 use footprint::GlobalAction;
 use std::collections::{BTreeMap, VecDeque};

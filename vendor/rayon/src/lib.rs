@@ -19,6 +19,13 @@
 //! here*, not as a property of the callers. The thread count comes from
 //! the `MEGADC_THREADS` environment variable when set (a positive
 //! integer), else [`std::thread::available_parallelism`].
+//!
+//! `MEGADC_SHUFFLE=<seed>` arms the schedule-shuffle sanitizer: chunks
+//! are spawned in a seeded permutation and workers stagger their start
+//! with seeded yields, scrambling completion order. Results are still
+//! reassembled by original chunk index, so outputs must not change —
+//! CI runs the determinism gates under several seeds to catch any
+//! caller accidentally relying on scheduling order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,9 +41,56 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The schedule-shuffle sanitizer seed: `MEGADC_SHUFFLE` when set to an
+/// integer, else `None` (natural scheduling).
+pub fn shuffle_seed() -> Option<u64> {
+    std::env::var("MEGADC_SHUFFLE")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+}
+
+fn xorshift(mut s: u64) -> u64 {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    s.max(1)
+}
+
+/// A seeded Fisher–Yates permutation of `0..n` (identity for `None`).
+fn spawn_permutation(seed: Option<u64>, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if let Some(seed) = seed {
+        let mut s = xorshift(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(n as u64)
+                | 1,
+        );
+        for i in (1..n).rev() {
+            s = xorshift(s);
+            let j = (s % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+    }
+    order
+}
+
 /// Map `f` over `items` on up to `threads` scoped worker threads,
-/// contiguous chunks, results concatenated in input order.
+/// contiguous chunks, results concatenated in input order (the
+/// environment's shuffle seed perturbs scheduling only).
 fn map_ordered<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    map_ordered_shuffled(items, threads, shuffle_seed(), f)
+}
+
+/// [`map_ordered`] with an explicit sanitizer seed (tests use this to
+/// avoid `set_var` races). Chunks are spawned in a seeded permutation and
+/// reassembled by original chunk index, so the output is independent of
+/// the seed by construction.
+fn map_ordered_shuffled<T, R, F>(items: Vec<T>, threads: usize, seed: Option<u64>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
@@ -44,7 +98,7 @@ where
 {
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 || n <= 1 {
+    if (threads <= 1 || n <= 1) && seed.is_none() {
         return items.into_iter().map(f).collect();
     }
     // Split into `threads` contiguous chunks (order preserved).
@@ -57,19 +111,35 @@ where
         rest = tail;
     }
     chunks.push(rest);
+    let order = spawn_permutation(seed, chunks.len());
+    let mut indexed: Vec<Option<(usize, Vec<T>)>> =
+        chunks.into_iter().enumerate().map(Some).collect();
     let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+        let handles: Vec<_> = order
+            .iter()
+            .map(|&slot| {
+                let (idx, chunk) = indexed[slot].take().expect("each chunk spawned once");
+                let jitter = seed.map(|s| xorshift(s.wrapping_add(idx as u64 + 1)) % 4);
+                scope.spawn(move || {
+                    for _ in 0..jitter.unwrap_or(0) {
+                        std::thread::yield_now();
+                    }
+                    (idx, chunk.into_iter().map(f).collect::<Vec<R>>())
+                })
+            })
             .collect();
-        let mut out = Vec::with_capacity(n);
-        // Join in spawn order — the fixed reduction order.
+        let mut slots: Vec<Option<Vec<R>>> = (0..handles.len()).map(|_| None).collect();
         for handle in handles {
             match handle.join() {
-                Ok(part) => out.extend(part),
+                Ok((idx, part)) => slots[idx] = Some(part),
                 Err(payload) => std::panic::resume_unwind(payload),
             }
+        }
+        let mut out = Vec::with_capacity(n);
+        // Reassemble in chunk-index order — the fixed reduction order.
+        for slot in slots {
+            out.extend(slot.expect("every chunk produced a result"));
         }
         out
     })
@@ -231,6 +301,25 @@ mod tests {
         assert!(out.is_empty());
         let out = map_ordered(vec![41], 8, |x| x + 1);
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn shuffle_seed_never_changes_results() {
+        let input: Vec<usize> = (0..1000).collect();
+        let seq: Vec<usize> = input.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 4, 16] {
+            for seed in [Some(0u64), Some(7), Some(u64::MAX), None] {
+                let par = map_ordered_shuffled(input.clone(), threads, seed, |x| x * 3 + 1);
+                assert_eq!(par, seq, "diverged at {threads} threads seed {seed:?}");
+            }
+        }
+        // Real seeds produce a genuine (complete, non-identity) permutation.
+        let perm = spawn_permutation(Some(11), 64);
+        assert_ne!(perm, (0..64).collect::<Vec<_>>());
+        let mut sorted = perm;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_eq!(spawn_permutation(None, 5), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
