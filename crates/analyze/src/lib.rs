@@ -100,7 +100,10 @@ pub fn analyze_workspace(root: &Path) -> Report {
         fs::read_to_string(&config_path),
         fs::read_to_string(&design_path),
     ) {
-        (Ok(cfg), Ok(design)) => findings.extend(lint::lint_knob_docs(&cfg, &design)),
+        (Ok(cfg), Ok(design)) => {
+            findings.extend(lint::lint_knob_docs(&cfg, &design));
+            findings.extend(lint::lint_metric_docs(&design));
+        }
         _ => report.errors.push(format!(
             "[knob-doc] cannot read {} or {}",
             config_path.display(),

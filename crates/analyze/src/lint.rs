@@ -401,6 +401,57 @@ pub fn lint_knob_docs(config_src: &str, design_text: &str) -> Vec<Finding> {
     findings
 }
 
+/// `metric-doc`: the metric catalog and its documentation must stay in
+/// lockstep. Every unique metric name registered in
+/// `obs::metrics::METRICS` must be mentioned in DESIGN.md's metric
+/// catalog, and every declared epoch phase must emit at least one
+/// registered metric — an uninstrumented phase is invisible to the
+/// registry scrape, and an undocumented metric ships meaning nobody
+/// wrote down.
+pub fn lint_metric_docs(design_text: &str) -> Vec<Finding> {
+    use megadc::obs::metrics::METRICS;
+    use megadc::phases::EPOCH_PHASES;
+    let mut findings = Vec::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for spec in METRICS {
+        if seen.contains(&spec.name) {
+            continue;
+        }
+        seen.push(spec.name);
+        if !mentions_word(design_text, spec.name) {
+            findings.push(Finding {
+                rule: "metric-doc",
+                krate: "obs".into(),
+                file: "crates/obs/src/metrics.rs".into(),
+                line: 0,
+                message: format!(
+                    "metric {} is registered in obs::metrics::METRICS but not \
+                     mentioned in DESIGN.md; the metric catalog must document \
+                     every exported series",
+                    spec.name
+                ),
+            });
+        }
+    }
+    for phase in EPOCH_PHASES {
+        if !METRICS.iter().any(|spec| spec.phase == phase.id) {
+            findings.push(Finding {
+                rule: "metric-doc",
+                krate: "obs".into(),
+                file: "crates/obs/src/metrics.rs".into(),
+                line: 0,
+                message: format!(
+                    "epoch phase {} emits no registered metric; every declared \
+                     phase must be instrumented (add a MetricSpec with \
+                     phase: \"{}\")",
+                    phase.id, phase.id
+                ),
+            });
+        }
+    }
+    findings
+}
+
 /// Extract `pub <ident>:` field names (with 1-based line numbers) from
 /// the struct named `name` in stripped source.
 fn struct_fields(stripped: &str, name: &str) -> Vec<(usize, String)> {
@@ -544,5 +595,28 @@ mod tests {
         let f = lint_knob_docs(cfg, design2);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("PlatformConfig::seed"));
+    }
+
+    #[test]
+    fn metric_doc_requires_every_name_and_instruments_every_phase() {
+        // A document naming every registered metric is clean (and the
+        // phase-coverage half holds because the live catalog instruments
+        // every declared phase — the same invariant the production run
+        // checks).
+        let mut full = String::new();
+        for spec in megadc::obs::metrics::METRICS {
+            full.push('`');
+            full.push_str(spec.name);
+            full.push_str("`\n");
+        }
+        assert!(lint_metric_docs(&full).is_empty());
+
+        // Dropping one metric from the document names exactly it.
+        let missing = megadc::obs::metrics::METRICS[0].name;
+        let partial: String = full.replace(missing, "");
+        let f = lint_metric_docs(&partial);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains(missing));
+        assert_eq!(f[0].rule, "metric-doc");
     }
 }

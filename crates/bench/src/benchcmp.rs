@@ -1,10 +1,21 @@
 //! Bench-report comparison (the `benchcmp` CI gate, as a library).
 //!
 //! [`compare`] takes two parsed `BENCH_scale.json` documents and
-//! produces a [`CompareReport`]: every `(tier, thread)` wall-time
-//! present on both sides is checked against the tolerance band, and
-//! every key present on only one side is *named* in the report — a key
-//! mismatch is never a panic and never a silent skip.
+//! produces a [`CompareReport`]: every measurement present on both
+//! sides — the per-thread wall times (`t1`…`t8`), the parallel demand
+//! stages (`demand`), and the per-phase profiler columns
+//! (`phase:<id>`) — is checked against the tolerance band, and every
+//! key present on only one side is *named* in the report — a key
+//! mismatch is never a panic and never a silent skip. Because the
+//! per-phase columns ride the same row machinery, a regression report
+//! names exactly which epoch phase slowed down.
+//!
+//! Phase and demand measurements below [`MIN_GATED_S`] are skipped
+//! (not errors): sub-millisecond spans are dominated by timer jitter
+//! and would gate on noise. Above the floor they gate at
+//! [`FINE_GRAINED_TOLERANCE_FACTOR`]× the wall tolerance — they are
+//! sampled from far fewer epochs than the whole-epoch walls, so their
+//! run-to-run variance is higher.
 //!
 //! Schema problems (missing `tiers`, a tier without a `label`, an empty
 //! or non-numeric `wall_per_epoch_s` map, duplicate keys) are `Err`s
@@ -13,6 +24,29 @@
 
 use obs::json::Json;
 use std::fmt::Write as _;
+
+/// Optional measurements (demand stages, per-phase spans) shorter than
+/// this are not gated — relative tolerance on sub-millisecond spans
+/// compares timer jitter, not controller cost.
+pub const MIN_GATED_S: f64 = 1e-3;
+
+/// Tolerance multiplier for the fine-grained optional columns
+/// (`demand`, `phase:<id>`). Those are measured at t=1 steps only over
+/// a handful of rounds, so a single scheduler hiccup moves them far
+/// more than the multi-second whole-epoch walls; gating them at the
+/// wall tolerance makes the gate trip on host jitter between identical
+/// binaries. Twice the band keeps real phase regressions (a slowed
+/// algorithm is typically 2×+, not +20%) while absorbing the noise.
+pub const FINE_GRAINED_TOLERANCE_FACTOR: f64 = 2.0;
+
+/// The tolerance band applied to one measurement key.
+fn key_tolerance(key: &str, tolerance: f64) -> f64 {
+    if key == "demand" || key.starts_with("phase:") {
+        tolerance * FINE_GRAINED_TOLERANCE_FACTOR
+    } else {
+        tolerance
+    }
+}
 
 /// One `(tier, thread-key)` wall-time compared across both documents.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,17 +93,22 @@ impl CompareReport {
     /// Render the per-measurement table plus the mismatch diff.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "benchcmp: tolerance +{:.0}%", self.tolerance * 100.0);
         let _ = writeln!(
             out,
-            "{:<8} {:<6} {:>12} {:>12} {:>9}  verdict",
-            "tier", "t", "baseline s", "candidate s", "delta"
+            "benchcmp: tolerance +{:.0}% (+{:.0}% for demand/phase columns)",
+            self.tolerance * 100.0,
+            self.tolerance * FINE_GRAINED_TOLERANCE_FACTOR * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:<24} {:>12} {:>12} {:>9}  verdict",
+            "tier", "measurement", "baseline s", "candidate s", "delta"
         );
         for r in &self.rows {
             let verdict = if r.regression { "REGRESSION" } else { "ok" };
             let _ = writeln!(
                 out,
-                "{:<8} {:<6} {:>12.4} {:>12.4} {:>+8.1}%  {verdict}",
+                "{:<8} {:<24} {:>12.4} {:>12.4} {:>+8.1}%  {verdict}",
                 r.tier,
                 r.threads,
                 r.baseline_s,
@@ -80,13 +119,13 @@ impl CompareReport {
         for (tier, threads) in &self.only_baseline {
             let _ = writeln!(
                 out,
-                "{tier:<8} {threads:<6} only in baseline — not compared (candidate lacks this key)"
+                "{tier:<8} {threads:<24} only in baseline — not compared (candidate lacks this key)"
             );
         }
         for (tier, threads) in &self.only_candidate {
             let _ = writeln!(
                 out,
-                "{tier:<8} {threads:<6} only in candidate — not compared (baseline lacks this key)"
+                "{tier:<8} {threads:<24} only in candidate — not compared (baseline lacks this key)"
             );
         }
         let _ = writeln!(
@@ -101,9 +140,13 @@ impl CompareReport {
     }
 }
 
-/// Extract the `(tier, thread-key, seconds)` triples of one document,
-/// validating the schema as it goes. `side` names the document in error
-/// messages (`"baseline"` / `"candidate"`).
+/// Extract the `(tier, measurement-key, seconds)` triples of one
+/// document, validating the schema as it goes. Measurement keys are the
+/// thread counts of `wall_per_epoch_s` (`"t1"`…), `"demand"` for
+/// `demand_s_per_epoch`, and `"phase:<id>"` for each entry of
+/// `phase_s_per_epoch`; the latter two are optional (older baselines
+/// predate them) and values below [`MIN_GATED_S`] are skipped. `side`
+/// names the document in error messages (`"baseline"` / `"candidate"`).
 pub fn extract(doc: &Json, side: &str) -> Result<Vec<(String, String, f64)>, String> {
     let Some(tiers) = doc.get("tiers") else {
         return Err(format!("{side}: no \"tiers\" key — not a bench document"));
@@ -148,6 +191,38 @@ pub fn extract(doc: &Json, side: &str) -> Result<Vec<(String, String, f64)>, Str
             }
             out.push((label.to_string(), key.clone(), s));
         }
+        // Optional measurements (absent in pre-profiler baselines; a
+        // one-sided key is reported by `compare`, never an error).
+        let mut push_optional = |key: String, val: &Json| -> Result<(), String> {
+            let Some(s) = val.as_f64() else {
+                return Err(format!(
+                    "{side}: tier {label:?} measurement {key:?} is not a number"
+                ));
+            };
+            if !s.is_finite() || s < 0.0 {
+                return Err(format!(
+                    "{side}: tier {label:?} measurement {key:?} = {s} is not a \
+                     non-negative finite wall time"
+                ));
+            }
+            if s >= MIN_GATED_S && !out.iter().any(|(l, k, _)| l == label && *k == key) {
+                out.push((label.to_string(), key, s));
+            }
+            Ok(())
+        };
+        if let Some(demand) = tier.get("demand_s_per_epoch") {
+            push_optional("demand".to_string(), demand)?;
+        }
+        if let Some(phases) = tier.get("phase_s_per_epoch") {
+            let Some(phases) = phases.as_obj() else {
+                return Err(format!(
+                    "{side}: tier {label:?} \"phase_s_per_epoch\" is not an object"
+                ));
+            };
+            for (id, val) in phases {
+                push_optional(format!("phase:{id}"), val)?;
+            }
+        }
     }
     Ok(out)
 }
@@ -169,7 +244,7 @@ pub fn compare(baseline: &Json, candidate: &Json, tolerance: f64) -> Result<Comp
                 baseline_s: *b,
                 candidate_s: *c,
                 delta_frac: c / b - 1.0,
-                regression: *c > b * (1.0 + tolerance),
+                regression: *c > b * (1.0 + key_tolerance(threads, tolerance)),
             }),
             None => only_baseline.push((tier.clone(), threads.clone())),
         }
@@ -282,6 +357,67 @@ mod tests {
         let non_number = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":"fast"}}"#);
         let err = compare(&ok, &non_number, 0.15).expect_err("schema");
         assert!(err.contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn phase_and_demand_columns_are_gated_and_name_the_phase() {
+        let b = bench(
+            r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0},
+                "demand_s_per_epoch":0.10,
+                "phase_s_per_epoch":{"pod-planning":0.50,"demand-serve":0.50,
+                                     "queue-drain":0.002}}"#,
+        );
+        let c = bench(
+            r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0},
+                "demand_s_per_epoch":0.11,
+                "phase_s_per_epoch":{"pod-planning":0.90,"demand-serve":0.62,
+                                     "queue-drain":0.002}}"#,
+        );
+        let rep = compare(&b, &c, 0.15).expect("comparable");
+        let regressed: Vec<&str> = rep
+            .rows
+            .iter()
+            .filter(|r| r.regression)
+            .map(|r| r.threads.as_str())
+            .collect();
+        assert_eq!(
+            regressed,
+            vec!["phase:pod-planning"],
+            "exactly the slowed phase must be named; +24% on demand-serve \
+             is inside the widened fine-grained band"
+        );
+        assert!(
+            rep.rows
+                .iter()
+                .any(|r| r.threads == "demand" && !r.regression),
+            "demand_s_per_epoch within tolerance must compare clean"
+        );
+        assert!(rep.render().contains("phase:pod-planning"));
+    }
+
+    #[test]
+    fn sub_floor_and_missing_optional_measurements_do_not_gate() {
+        // Baseline predates the profiler columns entirely; candidate has
+        // them but every span is under the noise floor.
+        let b = bench(r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0}}"#);
+        let c = bench(
+            r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0},
+                "demand_s_per_epoch":0.0005,
+                "phase_s_per_epoch":{"rip-bind":0.0001}}"#,
+        );
+        let rep = compare(&b, &c, 0.15).expect("comparable");
+        assert!(rep.passed());
+        assert!(
+            rep.only_candidate.is_empty(),
+            "sub-floor spans must be skipped, not surfaced as one-sided keys"
+        );
+        // A non-numeric phase value is still a loud schema error.
+        let bad = bench(
+            r#"{"label":"30k","wall_per_epoch_s":{"t1":1.0},
+                "phase_s_per_epoch":{"rip-bind":"fast"}}"#,
+        );
+        let err = compare(&b, &bad, 0.15).expect_err("schema");
+        assert!(err.contains("phase:rip-bind"), "{err}");
     }
 
     #[test]

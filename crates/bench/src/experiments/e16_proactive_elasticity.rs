@@ -36,6 +36,10 @@ pub(crate) struct Outcome {
     pub time_to_relief: usize,
     pub deployments: u64,
     pub mape: Option<f64>,
+    /// Flight-recorder ring evictions over the run (obs health).
+    pub ring_dropped: u64,
+    /// JSONL sink write failures over the run (obs health).
+    pub sink_errors: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -49,6 +53,7 @@ pub(crate) fn run_one(
     proactive: bool,
     epochs: u64,
     events: Option<&Path>,
+    metrics: Option<&Path>,
 ) -> Outcome {
     let mut cfg = PlatformConfig::small_test();
     cfg.seed = 1616;
@@ -68,9 +73,10 @@ pub(crate) fn run_one(
         cfg.elastic = elastic::ElasticConfig::proactive();
     }
     let mut p = Platform::build(cfg).expect("build");
+    let plane = if proactive { "proactive" } else { "reactive" };
+    let label = format!("e16/{scenario_label}-{plane}");
     if let Some(path) = events {
-        let plane = if proactive { "proactive" } else { "reactive" };
-        if let Some(sink) = super::open_event_sink(path, &format!("e16/{scenario_label}-{plane}")) {
+        if let Some(sink) = super::open_event_sink(path, &label) {
             p.global.recorder.set_sink(sink);
         }
     }
@@ -104,6 +110,9 @@ pub(crate) fn run_one(
             .position(|w| w.iter().all(|&o| !o))
             .unwrap_or(epochs as usize)
     };
+    if let Some(path) = metrics {
+        super::append_metrics(path, &p.registry.render_text(&label));
+    }
     Outcome {
         served_mean: served_sum / epochs as f64,
         overload_epochs,
@@ -112,6 +121,8 @@ pub(crate) fn run_one(
             + p.global.counters.deployments_started
             + p.metrics.proactive_deployments.get(),
         mape: p.forecast_mape(),
+        ring_dropped: p.global.recorder.dropped(),
+        sink_errors: p.global.recorder.sink_errors(),
     }
 }
 
@@ -123,7 +134,7 @@ fn fmt_mape(m: Option<f64>) -> String {
 }
 
 /// Run the comparison.
-pub fn report(quick: bool, events: Option<&Path>) -> Report {
+pub fn report(quick: bool, events: Option<&Path>, metrics: Option<&Path>) -> Report {
     let epochs = if quick { 90 } else { 180 };
     let scenarios: [(&str, Scenario); 2] = [
         ("flash crowd 8x", Scenario::FlashCrowd),
@@ -139,9 +150,12 @@ pub fn report(quick: bool, events: Option<&Path>) -> Report {
         "forecast MAPE",
     ]);
     let mut flash = Vec::new();
+    let mut obs_health = (0u64, 0u64);
     for (label, scenario) in scenarios {
         for proactive in [false, true] {
-            let o = run_one(scenario, proactive, epochs, events);
+            let o = run_one(scenario, proactive, epochs, events, metrics);
+            obs_health.0 += o.ring_dropped;
+            obs_health.1 += o.sink_errors;
             if matches!(scenario, Scenario::FlashCrowd) {
                 flash.push(o);
             }
@@ -189,6 +203,8 @@ pub fn report(quick: bool, events: Option<&Path>) -> Report {
         .metric("flash_reactive_deployments", flash[0].deployments as f64)
         .metric("flash_proactive_deployments", flash[1].deployments as f64)
         .metric("flash_proactive_mape", flash[1].mape.unwrap_or(f64::NAN))
+        .metric("obs_ring_dropped", obs_health.0 as f64)
+        .metric("obs_sink_errors", obs_health.1 as f64)
 }
 
 #[cfg(test)]
@@ -197,8 +213,8 @@ mod tests {
 
     #[test]
     fn proactive_strictly_improves_flash_crowd_relief() {
-        let reactive = run_one(Scenario::FlashCrowd, false, 90, None);
-        let proactive = run_one(Scenario::FlashCrowd, true, 90, None);
+        let reactive = run_one(Scenario::FlashCrowd, false, 90, None, None);
+        let proactive = run_one(Scenario::FlashCrowd, true, 90, None, None);
         assert!(
             proactive.overload_epochs < reactive.overload_epochs,
             "overload epochs: proactive {} vs reactive {}",
@@ -222,8 +238,8 @@ mod tests {
 
     #[test]
     fn outcomes_are_bit_identical_for_fixed_seed() {
-        let a = run_one(Scenario::FlashCrowd, true, 40, None);
-        let b = run_one(Scenario::FlashCrowd, true, 40, None);
+        let a = run_one(Scenario::FlashCrowd, true, 40, None, None);
+        let b = run_one(Scenario::FlashCrowd, true, 40, None, None);
         assert_eq!(a, b);
     }
 }

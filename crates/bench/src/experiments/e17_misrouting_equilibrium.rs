@@ -29,8 +29,7 @@ use crate::Report;
 use dcsim::table::{fnum, Table};
 use dcsim::SimDuration;
 use megadc::{Platform, PlatformConfig};
-use obs::footprint::GlobalAction;
-use obs::{ActionKind, Event};
+use obs::{scale_direction, Event};
 use std::collections::BTreeMap;
 use std::path::Path;
 use workload::FlashCrowd;
@@ -61,6 +60,10 @@ pub(crate) struct Outcome {
     pub flipflops_90_180: u64,
     /// Scale-direction flip-flops over the whole observed window.
     pub flipflops_total: u64,
+    /// Flight-recorder ring evictions over the run (obs health).
+    pub ring_dropped: u64,
+    /// JSONL sink write failures over the run (obs health).
+    pub sink_errors: u64,
 }
 
 /// Count scale-direction flip-flops per app from a flight-recorder log.
@@ -86,12 +89,12 @@ pub(crate) fn oscillation_flipflops(events: &[Event], lo: u64, hi: u64) -> u64 {
         if ev.epoch < lo || ev.epoch >= hi {
             continue;
         }
-        let dir: i8 = match ev.kind {
-            ActionKind::InstanceStart
-            | ActionKind::ProactiveDeploy
-            | ActionKind::Global(GlobalAction::Deployment) => 1,
-            ActionKind::ProactiveRetire | ActionKind::Global(GlobalAction::QueueRetire) => -1,
-            _ => continue,
+        // Shared direction classification (`obs::scale_direction`) — the
+        // recorder's run-wide flip-flop counter uses the same table, so
+        // this windowed replay and the live `slo.flipflops` metric can
+        // never disagree about what counts as a reversal.
+        let Some(dir) = scale_direction(ev.kind) else {
+            continue;
         };
         let Some(app) = ev.app else { continue };
         if let Some(&prev) = last_dir.get(&app) {
@@ -109,8 +112,9 @@ pub(crate) fn run_one(
     escape: bool,
     epochs: u64,
     events: Option<&Path>,
+    metrics: Option<&Path>,
 ) -> Outcome {
-    run_one_with(proactive, escape, None, epochs, events)
+    run_one_with(proactive, escape, None, epochs, events, metrics)
 }
 
 /// [`run_one`] with an optional `scale_in_cooldown_epochs` override, so
@@ -122,6 +126,7 @@ pub(crate) fn run_one_with(
     cooldown_override: Option<u32>,
     epochs: u64,
     events: Option<&Path>,
+    metrics: Option<&Path>,
 ) -> Outcome {
     // Identical scenario to E16's flash crowd so the pre-fix run
     // reproduces the exact plateau E16 first surfaced.
@@ -137,10 +142,11 @@ pub(crate) fn run_one_with(
         cfg.elastic = elastic::ElasticConfig::proactive();
     }
     let mut p = Platform::build(cfg).expect("build");
+    let plane = if proactive { "proactive" } else { "reactive" };
+    let esc = if escape { "on" } else { "off" };
+    let label = format!("e17/{plane}-escape-{esc}");
     if let Some(path) = events {
-        let plane = if proactive { "proactive" } else { "reactive" };
-        let esc = if escape { "on" } else { "off" };
-        if let Some(sink) = super::open_event_sink(path, &format!("e17/{plane}-escape-{esc}")) {
+        if let Some(sink) = super::open_event_sink(path, &label) {
             p.global.recorder.set_sink(sink);
         }
     }
@@ -162,6 +168,9 @@ pub(crate) fn run_one_with(
         served.push(snap.served_fraction());
         recorded.extend(p.global.recorder.take_events());
     }
+    if let Some(path) = metrics {
+        super::append_metrics(path, &p.registry.render_text(&label));
+    }
     let hold = &served[served.len() - served.len() / 3..];
     Outcome {
         served_mean: served.iter().sum::<f64>() / served.len() as f64,
@@ -175,6 +184,8 @@ pub(crate) fn run_one_with(
             + p.metrics.proactive_deployments.get(),
         flipflops_90_180: oscillation_flipflops(&recorded, WARMUP + OSC_FROM, WARMUP + OSC_TO),
         flipflops_total: oscillation_flipflops(&recorded, WARMUP, u64::MAX),
+        ring_dropped: p.global.recorder.dropped(),
+        sink_errors: p.global.recorder.sink_errors(),
     }
 }
 
@@ -185,7 +196,7 @@ pub(crate) fn run_one_with(
 /// equilibrium (or its fix) is in play. Longer windows mix in the
 /// scenario's slow scale-in/out oscillations, which E16 already measures
 /// and which are identical with the escape off and on.
-pub fn report(quick: bool, events: Option<&Path>) -> Report {
+pub fn report(quick: bool, events: Option<&Path>, metrics: Option<&Path>) -> Report {
     let epochs = 90;
     let mut t = Table::new([
         "plane",
@@ -199,9 +210,12 @@ pub fn report(quick: bool, events: Option<&Path>) -> Report {
         "deployments",
     ]);
     let mut outcomes = Vec::new();
+    let mut obs_health = (0u64, 0u64);
     for proactive in [false, true] {
         for escape in [false, true] {
-            let o = run_one(proactive, escape, epochs, events);
+            let o = run_one(proactive, escape, epochs, events, metrics);
+            obs_health.0 += o.ring_dropped;
+            obs_health.1 += o.sink_errors;
             t.row([
                 if proactive { "proactive" } else { "reactive" }.to_string(),
                 if escape { "on" } else { "off" }.to_string(),
@@ -240,12 +254,14 @@ pub fn report(quick: bool, events: Option<&Path>) -> Report {
         .metric("reactive_escape_hold_served", outcomes[1].hold_served_mean)
         .metric("proactive_escape_hold_served", outcomes[3].hold_served_mean)
         .metric("reactive_escapes", outcomes[1].escapes as f64)
-        .metric("reactive_flipflops", outcomes[1].flipflops_total as f64);
+        .metric("reactive_flipflops", outcomes[1].flipflops_total as f64)
+        .metric("obs_ring_dropped", obs_health.0 as f64)
+        .metric("obs_sink_errors", obs_health.1 as f64);
     // The late-run oscillation metric needs the full 180-epoch window
     // (observed epochs 90..180); skipped under --quick, where CI only
     // needs the 90-epoch determinism check.
     if !quick {
-        let full = run_one(true, true, OSC_TO, events);
+        let full = run_one(true, true, OSC_TO, events, metrics);
         report = report
             .metric("flipflops_90_180", full.flipflops_90_180 as f64)
             .metric("flipflops_total", full.flipflops_total as f64);
@@ -266,7 +282,7 @@ mod tests {
     /// the escape closes the gap.
     #[test]
     fn reactive_plateau_reproduced_without_escape() {
-        let o = run_one(false, false, 90, None);
+        let o = run_one(false, false, 90, None, None);
         assert!(
             o.hold_served_mean < 0.995,
             "pre-fix reactive hold phase should plateau below 0.995, got {}",
@@ -278,7 +294,7 @@ mod tests {
     #[test]
     fn escape_lifts_hold_phase_to_full_service() {
         for proactive in [false, true] {
-            let o = run_one(proactive, true, 90, None);
+            let o = run_one(proactive, true, 90, None, None);
             assert!(
                 o.hold_served_mean >= 0.999,
                 "post-fix hold phase (proactive={proactive}) should serve >= 0.999, got {}",
@@ -289,7 +305,7 @@ mod tests {
 
     #[test]
     fn escape_is_self_limiting() {
-        let o = run_one(false, true, 90, None);
+        let o = run_one(false, true, 90, None, None);
         assert!(o.escapes > 0, "escape never fired in reactive mode");
         assert!(
             o.escapes < 45,
@@ -300,11 +316,11 @@ mod tests {
 
     #[test]
     fn outcomes_are_bit_identical_for_fixed_seed() {
-        let a = run_one(false, true, 60, None);
-        let b = run_one(false, true, 60, None);
+        let a = run_one(false, true, 60, None, None);
+        let b = run_one(false, true, 60, None, None);
         assert_eq!(a, b);
-        let c = run_one(true, true, 60, None);
-        let d = run_one(true, true, 60, None);
+        let c = run_one(true, true, 60, None, None);
+        let d = run_one(true, true, 60, None, None);
         assert_eq!(c, d);
     }
 
@@ -360,7 +376,7 @@ mod tests {
     ///   *pass* on a damping regression).
     #[test]
     fn reactive_scale_oscillation_damped_by_cooldown() {
-        let damped = run_one(false, true, 90, None);
+        let damped = run_one(false, true, 90, None, None);
         assert_eq!(
             damped.flipflops_total, 0,
             "reactive scale oscillation is back (flipflops={}) — the \
@@ -368,7 +384,7 @@ mod tests {
              limit cycle",
             damped.flipflops_total
         );
-        let undamped = run_one_with(false, true, Some(0), 90, None);
+        let undamped = run_one_with(false, true, Some(0), 90, None, None);
         assert!(
             undamped.flipflops_total >= 2,
             "cooldown-off counterfactual lost its oscillation \
@@ -384,7 +400,7 @@ mod tests {
     ///   monotonically. This pins the absence of a late-run limit cycle.
     #[test]
     fn late_run_scale_in_is_monotonic() {
-        let o = run_one(true, true, OSC_TO, None);
+        let o = run_one(true, true, OSC_TO, None, None);
         assert_eq!(
             o.flipflops_90_180, 0,
             "late-run scale-in developed a limit cycle ({} reversals in \

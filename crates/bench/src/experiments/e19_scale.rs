@@ -59,6 +59,10 @@ pub(crate) struct TierResult {
     /// the same regions take longer inside, which would overstate the
     /// single-thread fraction.
     demand_s_per_epoch: f64,
+    /// Per-epoch seconds per declared epoch phase (parallel to
+    /// `obs::phases::EPOCH_PHASES`), from the platform's span profiler,
+    /// t=1 epochs only for the same reason as `demand_s_per_epoch`.
+    phase_s_per_epoch: Vec<f64>,
     served_final: f64,
 }
 
@@ -92,6 +96,20 @@ impl TierResult {
         let f = self.parallel_fraction();
         1.0 / ((1.0 - f) + f / 4.0)
     }
+
+    /// Critical-path attribution over the per-phase columns: the phase
+    /// with the largest single-thread share, as `(id, share)`.
+    fn dominant_phase(&self) -> Option<(&'static str, f64)> {
+        let total: f64 = self.phase_s_per_epoch.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        obs::phases::EPOCH_PHASES
+            .iter()
+            .zip(&self.phase_s_per_epoch)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(p, &s)| (p.id, s / total))
+    }
 }
 
 /// The scale-tier platform: 1 server and 1 initial instance per app,
@@ -122,14 +140,17 @@ fn run_tier(label: &str, apps: usize, rounds: usize) -> TierResult {
     // Warm-up: let the initial scale-out burst decay before timing.
     p.run_epochs(2);
 
+    let num_phases = obs::phases::EPOCH_PHASES.len();
     let mut wall_total = vec![0.0f64; THREADS.len()];
     let mut plan_total = 0.0f64;
     let mut demand_total = 0.0f64;
+    let mut phase_total = vec![0.0f64; num_phases];
     for _round in 0..rounds {
         for (i, &threads) in THREADS.iter().enumerate() {
             p.set_threads(threads);
             let plan_samples0 = p.metrics.decision_times.len();
             let demand_samples0 = p.metrics.propagation_times.len();
+            let phase0: Vec<f64> = (0..num_phases).map(|ph| p.profiler.total_s(ph)).collect();
             let t0 = Instant::now();
             p.step();
             wall_total[i] += t0.elapsed().as_secs_f64();
@@ -140,6 +161,9 @@ fn run_tier(label: &str, apps: usize, rounds: usize) -> TierResult {
                 demand_total += p.metrics.propagation_times.values()[demand_samples0..]
                     .iter()
                     .sum::<f64>();
+                for (ph, total) in phase_total.iter_mut().enumerate() {
+                    *total += p.profiler.total_s(ph) - phase0[ph];
+                }
             }
         }
     }
@@ -157,6 +181,7 @@ fn run_tier(label: &str, apps: usize, rounds: usize) -> TierResult {
         wall_per_epoch_s: wall_total.iter().map(|w| w / rounds as f64).collect(),
         plan_s_per_epoch: plan_total / rounds as f64,
         demand_s_per_epoch: demand_total / rounds as f64,
+        phase_s_per_epoch: phase_total.iter().map(|s| s / rounds as f64).collect(),
         served_final,
     }
 }
@@ -204,6 +229,20 @@ fn bench_json(quick: bool, tiers: &[TierResult]) -> String {
         obs::json::write_f64(tier.plan_s_per_epoch, &mut out);
         out.push_str(",\"demand_s_per_epoch\":");
         obs::json::write_f64(tier.demand_s_per_epoch, &mut out);
+        out.push_str(",\"phase_s_per_epoch\":{");
+        for (i, phase) in obs::phases::EPOCH_PHASES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(phase.id);
+            out.push_str("\":");
+            obs::json::write_f64(
+                tier.phase_s_per_epoch.get(i).copied().unwrap_or(0.0),
+                &mut out,
+            );
+        }
+        out.push('}');
         out.push_str(",\"parallel_fraction\":");
         obs::json::write_f64(tier.parallel_fraction(), &mut out);
         out.push_str(",\"speedup_t4\":");
@@ -245,6 +284,7 @@ pub fn report(quick: bool, bench: Option<&Path>) -> Report {
         "speedup t=4",
         "par frac",
         "amdahl t=4",
+        "critical path",
     ]);
     let mut tiers = Vec::new();
     for &(label, apps) in tiers_spec {
@@ -261,6 +301,10 @@ pub fn report(quick: bool, bench: Option<&Path>) -> Report {
             fnum(tier.speedup_t4(), 2),
             fnum(tier.parallel_fraction(), 2),
             fnum(tier.amdahl_t4(), 2),
+            match tier.dominant_phase() {
+                Some((id, share)) => format!("{id} {:.0}%", share * 100.0),
+                None => "-".to_string(),
+            },
         ]);
         tiers.push(tier);
     }
@@ -312,6 +356,15 @@ mod tests {
         assert!(tier.demand_s_per_epoch > 0.0);
         assert!((0.0..=1.0).contains(&tier.parallel_fraction()));
         assert!(tier.amdahl_t4() >= 1.0);
+        assert_eq!(
+            tier.phase_s_per_epoch.len(),
+            obs::phases::EPOCH_PHASES.len()
+        );
+        assert!(
+            tier.phase_s_per_epoch.iter().sum::<f64>() > 0.0,
+            "span profiler recorded nothing"
+        );
+        assert!(tier.dominant_phase().is_some());
         let doc = bench_json(true, &[tier]);
         let parsed = obs::json::parse(&doc).expect("bench json parses");
         assert_eq!(parsed.get("bench").and_then(|b| b.as_str()), Some("scale"));
@@ -327,5 +380,16 @@ mod tests {
             .get("demand_s_per_epoch")
             .and_then(|v| v.as_f64())
             .is_some_and(|d| d > 0.0));
+        // Every declared phase serializes as a per-phase bench column.
+        let phases = first
+            .get("phase_s_per_epoch")
+            .expect("phase_s_per_epoch present");
+        for p in obs::phases::EPOCH_PHASES {
+            assert!(
+                phases.get(p.id).and_then(|v| v.as_f64()).is_some(),
+                "phase {} missing from bench json",
+                p.id
+            );
+        }
     }
 }

@@ -50,17 +50,38 @@ pub(crate) fn open_event_sink(path: &Path, label: &str) -> Option<std::fs::File>
     Some(file)
 }
 
+/// Append one registry export (`Registry::render_text` output) to the
+/// metrics file. Like [`open_event_sink`], failures degrade the export
+/// and never the experiment.
+pub(crate) fn append_metrics(path: &Path, export: &str) {
+    use std::io::Write as _;
+    let result = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(export.as_bytes()));
+    if let Err(e) = result {
+        eprintln!(
+            "warning: cannot write metrics export {}: {e}",
+            path.display()
+        );
+    }
+}
+
 /// Run one experiment by id (`"e1"` … `"e19"`). `quick` shrinks sweeps
 /// for CI. `events`, when set, appends the flight-recorder logs of the
 /// experiment's platform runs to that JSONL file (one `{"run":...}`
 /// header per platform; supported by the platform-driving experiments —
-/// currently E4, E16, E17 and E18 — and ignored by the rest). `bench`,
-/// when set, is where E19 writes its `BENCH_scale.json` document
-/// (ignored by every other experiment).
+/// currently E4, E16, E17 and E18 — and ignored by the rest). `metrics`,
+/// when set, appends each platform run's deterministic registry export
+/// (Prometheus-style text, one `# run:` header per platform; currently
+/// E16 and E17). `bench`, when set, is where E19 writes its
+/// `BENCH_scale.json` document (ignored by every other experiment).
 pub fn run_experiment(
     id: &str,
     quick: bool,
     events: Option<&Path>,
+    metrics: Option<&Path>,
     bench: Option<&Path>,
 ) -> Option<Report> {
     Some(match id {
@@ -79,8 +100,8 @@ pub fn run_experiment(
         "e13" => Report::text_only(id, e13_failures::run(quick)),
         "e14" => Report::text_only(id, e14_energy::run(quick)),
         "e15" => Report::text_only(id, e15_session_quiescence::run(quick)),
-        "e16" => e16_proactive_elasticity::report(quick, events),
-        "e17" => e17_misrouting_equilibrium::report(quick, events),
+        "e16" => e16_proactive_elasticity::report(quick, events, metrics),
+        "e17" => e17_misrouting_equilibrium::report(quick, events, metrics),
         "e18" => e18_chaos_sweep::report(quick, events),
         "e19" => e19_scale::report(quick, bench),
         _ => return None,

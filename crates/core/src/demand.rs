@@ -44,6 +44,7 @@
 
 use crate::ids::vip_prefix;
 use crate::parallel::EpochPool;
+use crate::profclock::PhaseClock;
 use crate::state::PlatformState;
 use dcsim::metrics::{jains_fairness, max_mean_ratio};
 use dcsim::SimTime;
@@ -153,6 +154,28 @@ impl LoadSnapshot {
     }
 }
 
+/// Wall-clock seconds spent in each propagation stage, as measured by
+/// the funneled [`PhaseClock`]. Profiling output only — it feeds the
+/// phase profiler and the E19 samples, never a deterministic export.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PropagateTiming {
+    /// Stage 1+2 (DNS split + routing, parallel) including the serial
+    /// contribution replay.
+    pub route_s: f64,
+    /// Stage 3 (switch offered-load reset, serial).
+    pub switch_reset_s: f64,
+    /// Stage 4 (RIPs → VMs → servers, parallel) including the replay.
+    pub serve_s: f64,
+}
+
+impl PropagateTiming {
+    /// The demand-stage total the E19 scale bench samples
+    /// (`demand_s_per_epoch`): the two parallelizable stages.
+    pub fn parallel_stages_s(&self) -> f64 {
+        self.route_s + self.serve_s
+    }
+}
+
 /// Propagate `app_demand_bps` through the platform at time `now`,
 /// serially (a one-worker pool, sanitizer off).
 ///
@@ -207,16 +230,16 @@ struct ServePartial {
 /// instead of paying a fresh `LoadSnapshot` each tick.
 ///
 /// The read-only stages run on `pool` (see the module docs for the
-/// determinism argument). Returns the wall-clock seconds spent in the
-/// two parallel stages — the platform records it so E19 can measure the
-/// parallel fraction of the epoch.
+/// determinism argument). Returns per-stage wall-clock timings — the
+/// platform feeds them to the phase profiler and E19 measures the
+/// parallel fraction of the epoch from the parallel stages' total.
 pub fn propagate_into(
     state: &mut PlatformState,
     app_demand_bps: &[f64],
     now: SimTime,
     snap: &mut LoadSnapshot,
     pool: &EpochPool,
-) -> f64 {
+) -> PropagateTiming {
     assert_eq!(
         app_demand_bps.len(),
         state.num_apps(),
@@ -236,8 +259,9 @@ pub fn propagate_into(
     snap.vm_cpu_served.clear();
 
     // --- 1+2: DNS split and routing (parallel, region demand-route) -----
+    let mut timing = PropagateTiming::default();
+    let mut clock = PhaseClock::start();
     let mut route_parts: Vec<RoutePartial> = Vec::new();
-    let route_started = std::time::Instant::now();
     {
         let st: &PlatformState = &*state;
         pool.map_blocks_into(
@@ -286,7 +310,6 @@ pub fn propagate_into(
             },
         );
     }
-    let route_seconds = route_started.elapsed().as_secs_f64();
     // Merge: replay contributions in block order — the exact operation
     // sequence of the serial loop, so every float is bit-identical.
     for part in &route_parts {
@@ -300,6 +323,7 @@ pub fn propagate_into(
             snap.link_load_bps[link_idx] += bps;
         }
     }
+    timing.route_s = clock.lap();
 
     // --- 3: switches (serial, phase demand-switch-reset) -----------------
     // Reset every VIP's offered load, then set the live ones.
@@ -314,12 +338,12 @@ pub fn propagate_into(
     for (i, sw) in state.switches.iter().enumerate() {
         snap.switch_offered_bps[i] = sw.offered_bps();
     }
+    timing.switch_reset_s = clock.lap();
 
     // --- 4: RIPs → VMs → servers (parallel, region demand-serve) ---------
     let vips: Vec<VipAddr> = snap.vip_demand_bps.keys().copied().collect();
     let vip_demand: Vec<f64> = snap.vip_demand_bps.values().copied().collect();
     let mut serve_parts: Vec<ServePartial> = Vec::new();
-    let serve_started = std::time::Instant::now();
     {
         let st: &PlatformState = &*state;
         pool.map_blocks_into(
@@ -377,7 +401,6 @@ pub fn propagate_into(
             },
         );
     }
-    let serve_seconds = serve_started.elapsed().as_secs_f64();
     for part in &serve_parts {
         for &(app_idx, bps) in &part.unserved {
             snap.unserved_bps_by_app[app_idx] += bps;
@@ -395,7 +418,8 @@ pub fn propagate_into(
             snap.server_cpu_load[srv_idx] += cpu;
         }
     }
-    route_seconds + serve_seconds
+    timing.serve_s = clock.lap();
+    timing
 }
 
 #[cfg(test)]

@@ -156,7 +156,20 @@ impl GlobalManager {
     /// Run one global-manager epoch. Mutates DNS, routes, switches and the
     /// fleet through `state`; pod-level provisioning is the pod managers'
     /// job and happens separately.
+    ///
+    /// Equivalent to [`GlobalManager::epoch_knobs`] followed by
+    /// [`GlobalManager::drain_queue`]; the platform calls the two halves
+    /// directly so the phase profiler can attribute knob time
+    /// (`global-knobs`) and queue time (`queue-drain`) separately.
     pub fn epoch(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
+        self.epoch_knobs(state, snap, now);
+        self.drain_queue(state);
+    }
+
+    /// The knob half of one global-manager epoch: forecast observation
+    /// and every enabled balancing/exposure/relief knob. Requests it
+    /// enqueues are not applied until [`GlobalManager::drain_queue`].
+    pub fn epoch_knobs(&mut self, state: &mut PlatformState, snap: &LoadSnapshot, now: SimTime) {
         self.observe_forecasts(state, snap);
         let knobs = state.config.knobs;
         if knobs.capacity_exposure {
@@ -177,6 +190,11 @@ impl GlobalManager {
         if knobs.elephant_relief {
             self.avoid_elephants(state);
         }
+    }
+
+    /// The serialized half of one global-manager epoch: apply every
+    /// queued VIP/RIP request in order, then release the retire mask.
+    pub fn drain_queue(&mut self, state: &mut PlatformState) {
         for (req, resp) in self.viprip.process_all(state) {
             self.record_queue_apply(&req, &resp);
         }

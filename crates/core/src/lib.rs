@@ -60,6 +60,7 @@ pub mod ids;
 pub mod parallel;
 pub mod platform;
 pub mod pod;
+pub mod profclock;
 pub mod sessions;
 pub mod sizing;
 pub mod state;

@@ -30,6 +30,7 @@ use crate::global::GlobalManager;
 use crate::ids::{AppId, PodId};
 use crate::parallel::EpochPool;
 use crate::pod::{PodManager, PodPlan};
+use crate::profclock::PhaseClock;
 use crate::state::PlatformState;
 use crate::viprip::{Priority, Request, Response};
 use dcnet::access::AccessLinkId;
@@ -37,6 +38,8 @@ use dcsim::metrics::{Counter, Samples, TimeSeries};
 use dcsim::SimTime;
 use elastic::{AppObservation, ElasticController, KnobRequest, ProposedAction};
 use lbswitch::SwitchId;
+use obs::metrics::{ids as mid, Registry, SloScore, SloTracker};
+use obs::profile::{phase_index, PhaseProfiler};
 use obs::{ActionKind, Actor};
 use std::collections::BTreeMap;
 use vmm::{ServerId, VmId, VmState};
@@ -118,6 +121,15 @@ pub struct Platform {
     pub global: GlobalManager,
     /// Recorded metrics.
     pub metrics: PlatformMetrics,
+    /// The deterministic metrics registry (scraped at epoch close when
+    /// `config.metrics` is on; export via [`Registry::render_text`]).
+    pub registry: Registry,
+    /// The wall-time phase profiler (always on; quarantined from every
+    /// deterministic output — feeds E19 and `obs report --bench`).
+    pub profiler: PhaseProfiler,
+    /// Per-epoch SLO scorer (its `slo.*` outputs fold into the
+    /// `EpochHealth` event and the `megadc_slo_*` metrics).
+    slo: SloTracker,
     pod_managers: Vec<PodManager>,
     now: SimTime,
     epochs: u64,
@@ -287,6 +299,9 @@ impl Platform {
             workload,
             global,
             metrics: PlatformMetrics::default(),
+            registry: Registry::new(),
+            profiler: PhaseProfiler::new(),
+            slo: SloTracker::default(),
             pod_managers,
             now,
             epochs: 0,
@@ -353,6 +368,12 @@ impl Platform {
         // Stamp the flight recorder: every event committed until the next
         // `begin_epoch` carries this epoch index and sim-clock time.
         self.global.recorder.begin_epoch(self.epochs, now);
+        // Per-phase spans: lap boundaries sit on the declared phase
+        // seams, so the profiler's totals line up with the effect sets
+        // in `obs::phases`. Span handles resolve by phase id; a rename
+        // there degrades to a silently-dropped span, never a panic.
+        let span = |id: &str| phase_index(id).unwrap_or(usize::MAX);
+        let mut clock = PhaseClock::start();
         self.state.fleet.complete_transitions(now);
 
         // Demand for this epoch (scratch vector reused across epochs).
@@ -361,15 +382,23 @@ impl Platform {
         demands.clear();
         let workload = &self.workload;
         demands.extend((0..num_apps).map(|a| workload.demand_bps(a, now)));
+        self.profiler.record(span("demand-fill"), clock.lap());
         let mut snap = std::mem::take(&mut self.scratch.snap);
-        let propagation_s = propagate_into(
+        let timing = propagate_into(
             &mut self.state,
             &self.scratch.demands,
             now,
             &mut snap,
             &self.pool,
         );
-        self.metrics.propagation_times.record(propagation_s);
+        self.metrics
+            .propagation_times
+            .record(timing.parallel_stages_s());
+        self.profiler.record(span("demand-route"), timing.route_s);
+        self.profiler
+            .record(span("demand-switch-reset"), timing.switch_reset_s);
+        self.profiler.record(span("demand-serve"), timing.serve_s);
+        let _ = clock.lap(); // propagation time is attributed above
 
         // Pod managers decide in parallel — one Tang-controller run per
         // pod, which is exactly the scalability mechanism of §III.A. The
@@ -388,23 +417,32 @@ impl Platform {
                 |pm| pm.plan(state_ref, snap_ref),
             );
         }
+        self.profiler.record(span("pod-planning"), clock.lap());
         for plan in plans.drain(..) {
             self.apply_pod_plan(plan, now);
         }
         self.scratch.plans = plans;
+        self.profiler.record(span("plan-application"), clock.lap());
 
         // Proactive plane (when enabled): forecast next epochs' demand
         // and actuate ahead of it. Runs before the global epoch so its
         // VIP/RIP submissions ride this epoch's serialized queue.
         self.proactive_phase(&snap, now);
+        self.profiler.record(span("proactive-pass"), clock.lap());
 
-        // Global knobs + the serialized VIP/RIP queue.
-        self.global.epoch(&mut self.state, &snap, now);
+        // Global knobs, then the serialized VIP/RIP queue — the two
+        // halves of `GlobalManager::epoch`, called separately so knob
+        // time and queue time profile apart.
+        self.global.epoch_knobs(&mut self.state, &snap, now);
+        self.profiler.record(span("global-knobs"), clock.lap());
+        self.global.drain_queue(&mut self.state);
+        self.profiler.record(span("queue-drain"), clock.lap());
 
         // Bind RIPs for instances that came online without one (pod-plan
         // starts and completed deployments race the queue; this sweep is
         // idempotent).
-        self.bind_missing_rips();
+        let rips_bound = self.bind_missing_rips();
+        self.profiler.record(span("rip-bind"), clock.lap());
 
         // Pods may have been created during the global epoch (elephant
         // relief): give them managers immediately so they plan next round.
@@ -422,14 +460,22 @@ impl Platform {
         m.pod_util_max.record(now, pod_max);
         m.served_fraction.record(now, served);
 
-        // Close the epoch in the flight recorder: one health event rolling
-        // up per-kind action counts plus the epoch's headline load levels.
+        // Score the epoch against the served-fraction SLO. The inputs
+        // (reconfig totals, the recorder's cumulative flip-flop count)
+        // are sim-state, so the score is deterministic.
         let reconfigs: u64 = self
             .state
             .switches
             .iter()
             .map(|sw| sw.reconfigurations())
             .sum();
+        let slo = self
+            .slo
+            .score_epoch(served, reconfigs, self.global.recorder.flipflops());
+
+        // Close the epoch in the flight recorder: one health event rolling
+        // up per-kind action counts plus the epoch's headline load levels
+        // and the SLO score.
         let ring_dropped = self.global.recorder.dropped();
         self.global.recorder.emit_epoch_health(&[
             ("load.served_fraction", served),
@@ -438,7 +484,26 @@ impl Platform {
             ("load.pod_util_max", pod_max),
             ("switch_vip_table.reconfigs", reconfigs as f64),
             ("ctl.ring_dropped", ring_dropped as f64),
+            ("slo.overload_epochs", slo.overload_epochs as f64),
+            ("slo.relief_epochs", slo.relief_epochs as f64),
+            ("slo.reconfig_churn", slo.reconfig_churn as f64),
+            ("slo.flipflops", slo.flipflops as f64),
         ]);
+
+        // Scrape the metrics registry (the declared `Metrics` write of
+        // the `epoch-close` phase).
+        if self.state.config.metrics {
+            self.scrape_registry(
+                &snap,
+                now,
+                (link_max, switch_max, pod_max, served),
+                reconfigs,
+                rips_bound,
+                slo,
+            );
+        }
+        self.profiler.record(span("epoch-close"), clock.lap());
+        self.profiler.end_epoch();
 
         self.epochs += 1;
         // Double-buffer: this epoch's snapshot becomes `last_snapshot`,
@@ -446,6 +511,75 @@ impl Platform {
         std::mem::swap(&mut self.last_snapshot, &mut snap);
         self.scratch.snap = snap;
         &self.last_snapshot
+    }
+
+    /// Refresh every registry instrument from sim state. Counters come
+    /// from cumulative sources (recorder totals, `PlatformMetrics`
+    /// counters, knob counters) via the monotone `set_counter`, so the
+    /// scrape is idempotent; gauges and histograms reflect this epoch.
+    fn scrape_registry(
+        &mut self,
+        snap: &LoadSnapshot,
+        now: SimTime,
+        maxima: (f64, f64, f64, f64),
+        reconfigs: u64,
+        rips_bound: u64,
+        slo: SloScore,
+    ) {
+        let (link_max, switch_max, pod_max, served) = maxima;
+        let link_utils = snap.link_utilizations(&self.state);
+        let pod_utils = snap.pod_utilizations(&self.state);
+        let mape = self.forecast_mape();
+        let r = &mut self.registry;
+        r.stamp(self.epochs, now.as_micros());
+        r.set_gauge(mid::OFFERED_BPS, snap.total_demand_bps());
+        let active = snap.app_demand_bps.iter().filter(|&&d| d > 0.0).count();
+        r.set_gauge(mid::APPS_ACTIVE, active as f64);
+        r.set_gauge(mid::LINK_UTIL_MAX, link_max);
+        for &u in &link_utils {
+            r.observe(mid::LINK_UTIL, u);
+        }
+        r.set_gauge(mid::SWITCH_UTIL_MAX, switch_max);
+        r.set_gauge(mid::SERVED_FRACTION, served);
+        r.set_gauge(mid::UNSERVED_BPS, snap.total_unserved_bps());
+        r.set_gauge(mid::POD_UTIL_MAX, pod_max);
+        for &u in &pod_utils {
+            r.observe(mid::POD_UTIL, u);
+        }
+        let rec = &self.global.recorder;
+        let m = &self.metrics;
+        r.set_counter(mid::POD_PLANS, rec.total_count(ActionKind::PodPlan.key()));
+        r.set_counter(mid::INSTANCE_STARTS, m.instance_starts.get());
+        r.set_counter(mid::INSTANCE_STOPS, m.instance_stops.get());
+        r.set_counter(mid::SLICE_ADJUSTMENTS, m.slice_adjustments.get());
+        r.set_counter(mid::PLACEMENT_CHANGES, m.placement_changes.get());
+        r.set_counter(mid::PROACTIVE_DEPLOY, m.proactive_deployments.get());
+        r.set_counter(mid::PROACTIVE_RETIRE, m.proactive_retirements.get());
+        r.set_counter(mid::PROACTIVE_REWEIGHT, m.proactive_reweights.get());
+        r.set_counter(mid::PROACTIVE_SLICE, m.proactive_slice_adjustments.get());
+        if let Some(mape) = mape {
+            r.set_gauge(mid::FORECAST_MAPE, mape);
+        }
+        for (i, action) in obs::footprint::ALL_ACTIONS.iter().enumerate() {
+            r.set_counter(mid::GLOBAL_ACTIONS_BASE + i, rec.total_count(action.name()));
+        }
+        r.set_counter(
+            mid::QUEUE_APPLIES,
+            rec.total_count(ActionKind::QueueApply.key()),
+        );
+        r.add(mid::RIPS_BOUND, rips_bound);
+        r.add(mid::EPOCHS, 1);
+        r.set_counter(mid::SWITCH_RECONFIGS, reconfigs);
+        r.set_counter(
+            mid::DNS_EXPOSURE_UPDATES,
+            self.global.counters.exposure_updates,
+        );
+        r.set_counter(mid::OBS_RING_DROPPED, rec.dropped());
+        r.set_counter(mid::OBS_SINK_ERRORS, rec.sink_errors());
+        r.set_counter(mid::SLO_OVERLOAD_EPOCHS, slo.overload_epochs);
+        r.set_gauge(mid::SLO_RELIEF_EPOCHS, slo.relief_epochs as f64);
+        r.set_gauge(mid::SLO_RECONFIG_CHURN, slo.reconfig_churn as f64);
+        r.set_counter(mid::SLO_FLIPFLOPS, slo.flipflops);
     }
 
     /// The proactive controller, when enabled.
@@ -806,7 +940,7 @@ impl Platform {
     }
 
     /// Submit `NewRip` for every running VM with no RIP, then process.
-    fn bind_missing_rips(&mut self) {
+    fn bind_missing_rips(&mut self) -> u64 {
         let missing: Vec<(AppId, VmId)> = self
             .state
             .fleet
@@ -817,8 +951,9 @@ impl Platform {
             .filter(|vm| self.state.rip_of_vm(vm.id).is_none())
             .map(|vm| (AppId(vm.app), vm.id))
             .collect();
+        let bound = missing.len() as u64;
         if missing.is_empty() {
-            return;
+            return 0;
         }
         for (app, vm) in missing {
             self.global.viprip.submit(
@@ -833,6 +968,7 @@ impl Platform {
         for (req, resp) in self.global.viprip.process_all(&mut self.state) {
             self.global.record_queue_apply(&req, &resp);
         }
+        bound
     }
 
     // ---- fault injection (chaos harness) ---------------------------------

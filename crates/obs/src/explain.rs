@@ -116,10 +116,34 @@ pub struct Query {
     pub app: Option<u32>,
     /// Match events targeting this pod.
     pub pod: Option<u32>,
-    /// Only this epoch (otherwise the whole run).
-    pub epoch: Option<u64>,
+    /// Only epochs in this inclusive `(lo, hi)` range (otherwise the
+    /// whole run). A single-epoch query is `(n, n)`; the CLI accepts
+    /// `--epoch N` and `--epoch LO..HI`. Range bounds are compared
+    /// against each event's own epoch stamp, so a ring that wrapped
+    /// mid-range simply yields the retained suffix — boundary epochs
+    /// are never silently dropped.
+    pub epoch: Option<(u64, u64)>,
     /// Only runs whose label contains this substring.
     pub run: Option<String>,
+}
+
+/// Parse an epoch filter argument: `"7"` → `(7, 7)`, `"5..12"` →
+/// `(5, 12)` (inclusive both ends).
+pub fn parse_epoch_range(s: &str) -> Result<(u64, u64), String> {
+    let parse_one = |t: &str| -> Result<u64, String> {
+        t.parse::<u64>()
+            .map_err(|e| format!("bad epoch {t:?}: {e}"))
+    };
+    match s.split_once("..") {
+        None => parse_one(s).map(|n| (n, n)),
+        Some((lo, hi)) => {
+            let (lo, hi) = (parse_one(lo)?, parse_one(hi)?);
+            if lo > hi {
+                return Err(format!("empty epoch range {s:?} (lo > hi)"));
+            }
+            Ok((lo, hi))
+        }
+    }
 }
 
 /// Map each VIP to the app it serves, learned from events carrying both
@@ -136,8 +160,8 @@ fn vip_app_map(events: &[Event]) -> BTreeMap<u32, u32> {
 }
 
 fn matches(ev: &Event, q: &Query, resolved_app: Option<u32>) -> bool {
-    if let Some(epoch) = q.epoch {
-        if ev.epoch != epoch {
+    if let Some((lo, hi)) = q.epoch {
+        if ev.epoch < lo || ev.epoch > hi {
             return false;
         }
     }
@@ -372,11 +396,53 @@ mod tests {
             &log,
             &Query {
                 vip: Some(1),
-                epoch: Some(99),
+                epoch: Some((99, 120)),
                 ..Query::default()
             },
         );
         assert!(wrong_epoch.contains("no matching events"));
+    }
+
+    #[test]
+    fn epoch_range_parses_single_and_span() {
+        assert_eq!(parse_epoch_range("7"), Ok((7, 7)));
+        assert_eq!(parse_epoch_range("5..12"), Ok((5, 12)));
+        assert!(parse_epoch_range("9..3").is_err());
+        assert!(parse_epoch_range("x").is_err());
+        assert!(parse_epoch_range("1..y").is_err());
+    }
+
+    /// Regression: epoch-range filtering at a ring-wrap boundary. The
+    /// ring evicts the oldest events, so a range straddling the wrap
+    /// point must return exactly the retained in-range epochs — both
+    /// boundary epochs inclusive, nothing beyond `hi`, and no phantom
+    /// "off-by-one" loss of the first retained epoch.
+    #[test]
+    fn epoch_range_is_inclusive_across_ring_wrap() {
+        let mut rec = Recorder::default();
+        rec.set_capacity(4);
+        for epoch in 0..7u64 {
+            rec.begin_epoch(epoch, SimTime::from_secs(30 * epoch));
+            rec.event(Actor::Queue, ActionKind::QueueApply)
+                .vip(epoch as u32)
+                .commit();
+        }
+        assert_eq!(rec.dropped(), 3); // epochs 0..=2 evicted
+        let log = EventLog {
+            runs: vec![(String::new(), rec.take_events())],
+        };
+        let q = Query {
+            epoch: Some((2, 5)),
+            ..Query::default()
+        };
+        let text = explain(&log, &q);
+        // Epoch 2 was evicted by the wrap; 3, 4, 5 survive and all
+        // three — including both range boundaries — must render.
+        for want in ["-- epoch 3 --", "-- epoch 4 --", "-- epoch 5 --"] {
+            assert!(text.contains(want), "missing {want}: {text}");
+        }
+        assert!(!text.contains("-- epoch 2 --"), "{text}");
+        assert!(!text.contains("-- epoch 6 --"), "{text}");
     }
 
     #[test]

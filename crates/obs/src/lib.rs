@@ -36,7 +36,10 @@
 pub mod explain;
 pub mod footprint;
 pub mod json;
+pub mod metrics;
 pub mod phases;
+pub mod profile;
+pub mod report;
 
 use footprint::GlobalAction;
 use std::collections::{BTreeMap, VecDeque};
@@ -149,6 +152,22 @@ pub const STRUCTURAL_KINDS: [ActionKind; 10] = [
 /// of these must have an emit site in `crates/core/src` (the `analyze`
 /// emit-coverage rule) so injected faults always reach the audit trail.
 pub const FAULT_KINDS: [ActionKind; 2] = [ActionKind::FaultInject, ActionKind::LinkDegrade];
+
+/// The scaling direction of an action kind, for flip-flop detection:
+/// `+1` for scale-out (instance starts, deployments), `-1` for scale-in
+/// (retires), `None` for direction-neutral kinds. A per-app reversal —
+/// a `-1` following a `+1` or vice versa — is one flip-flop; the
+/// [`Recorder`] counts them cumulatively and E17's oscillation window
+/// shares this classification.
+pub fn scale_direction(kind: ActionKind) -> Option<i8> {
+    match kind {
+        ActionKind::InstanceStart
+        | ActionKind::ProactiveDeploy
+        | ActionKind::Global(GlobalAction::Deployment) => Some(1),
+        ActionKind::ProactiveRetire | ActionKind::Global(GlobalAction::QueueRetire) => Some(-1),
+        _ => None,
+    }
+}
 
 impl ActionKind {
     /// Stable serialized form (the `kind` field of an event line).
@@ -393,6 +412,9 @@ pub struct Recorder {
     t_us: u64,
     dropped: u64,
     epoch_counts: BTreeMap<&'static str, u64>,
+    total_counts: BTreeMap<&'static str, u64>,
+    last_scale_dir: BTreeMap<u32, i8>,
+    flipflops: u64,
     sink: Option<std::fs::File>,
     sink_errors: u64,
 }
@@ -484,12 +506,34 @@ impl Recorder {
         self.epoch
     }
 
+    /// Cumulative count of committed events for one serialized kind key
+    /// (never reset, unlike the per-epoch window feeding
+    /// [`Recorder::emit_epoch_health`]). The metrics registry scrapes
+    /// these at epoch close.
+    pub fn total_count(&self, key: &str) -> u64 {
+        self.total_counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Cumulative per-app scale-direction reversals (see
+    /// [`scale_direction`]) across the whole run.
+    pub fn flipflops(&self) -> u64 {
+        self.flipflops
+    }
+
     fn commit(&mut self, mut ev: Event) {
         ev.seq = self.seq;
         self.seq += 1;
         ev.epoch = self.epoch;
         ev.t_us = self.t_us;
         *self.epoch_counts.entry(ev.kind.key()).or_insert(0) += 1;
+        *self.total_counts.entry(ev.kind.key()).or_insert(0) += 1;
+        if let (Some(app), Some(dir)) = (ev.app, scale_direction(ev.kind)) {
+            if let Some(prev) = self.last_scale_dir.insert(app, dir) {
+                if prev != dir {
+                    self.flipflops += 1;
+                }
+            }
+        }
         if let Some(sink) = self.sink.as_mut() {
             let line = ev.to_json_line();
             if writeln!(sink, "{line}").is_err() {
@@ -663,6 +707,37 @@ mod tests {
         assert_eq!(vips, vec![2, 3, 4, 5]); // 0 and 1 evicted, order kept
         let seqs: Vec<u64> = rec.events().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4, 5]); // seq keeps counting past drops
+    }
+
+    #[test]
+    fn total_counts_survive_epoch_resets() {
+        let mut rec = Recorder::default();
+        rec.begin_epoch(0, SimTime::ZERO);
+        rec.event(Actor::Queue, ActionKind::QueueApply).commit();
+        rec.begin_epoch(1, SimTime::from_secs(30));
+        rec.event(Actor::Queue, ActionKind::QueueApply).commit();
+        rec.event(Actor::Pod(1), ActionKind::PodPlan).commit();
+        assert_eq!(rec.total_count("QueueApply"), 2);
+        assert_eq!(rec.total_count("PodPlan"), 1);
+        assert_eq!(rec.total_count("InstanceStart"), 0);
+    }
+
+    #[test]
+    fn flipflops_count_per_app_direction_reversals() {
+        let mut rec = Recorder::default();
+        rec.begin_epoch(0, SimTime::ZERO);
+        let emit = |rec: &mut Recorder, kind, app| {
+            rec.event(Actor::Elastic, kind).app(app).commit();
+        };
+        emit(&mut rec, ActionKind::ProactiveDeploy, 1); // first dir: no flip
+        emit(&mut rec, ActionKind::ProactiveDeploy, 1); // same dir: no flip
+        emit(&mut rec, ActionKind::ProactiveRetire, 1); // reversal: flip 1
+        emit(&mut rec, ActionKind::InstanceStart, 1); // reversal: flip 2
+        emit(&mut rec, ActionKind::ProactiveRetire, 2); // other app, first dir
+        emit(&mut rec, ActionKind::QueueApply, 2); // neutral kind: ignored
+        emit(&mut rec, ActionKind::Global(GlobalAction::Deployment), 2); // flip 3
+        assert_eq!(rec.flipflops(), 3);
+        assert_eq!(scale_direction(ActionKind::EpochHealth), None);
     }
 
     #[test]

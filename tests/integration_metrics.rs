@@ -1,0 +1,113 @@
+//! Metrics-registry determinism (DESIGN.md §"Metrics & profiling").
+//!
+//! The registry scrape at epoch close reads only sim state and the sim
+//! clock, so its rendered exports are part of the platform's determinism
+//! contract: the E16/E17 scenario must produce byte-identical text and
+//! JSONL exports under every (worker-thread count × schedule-shuffle
+//! seed) combination. A divergence means wall time, thread count, or
+//! scheduling leaked into a metric value — exactly what the wall-clock
+//! quarantine (profiler vs registry) exists to prevent.
+
+use dcsim::SimDuration;
+use megadc::{Platform, PlatformConfig};
+use workload::FlashCrowd;
+
+const WARMUP: u64 = 10;
+const EPOCHS: u64 = 120;
+const SHUFFLE_SEEDS: [u64; 2] = [7, 41];
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn e17_config(threads: usize) -> PlatformConfig {
+    let mut cfg = PlatformConfig::small_test();
+    cfg.seed = 1616;
+    cfg.total_demand_bps = 0.5e9;
+    cfg.diurnal_amplitude = 0.0;
+    cfg.knobs.misrouting_escape = true;
+    cfg.elastic = elastic::ElasticConfig::proactive();
+    cfg.threads = threads;
+    cfg
+}
+
+/// Run the E17 flash-crowd scenario and return both export renderings.
+fn run_scenario(threads: usize, shuffle: Option<u64>) -> (String, String) {
+    let mut p = Platform::build(e17_config(threads)).expect("build");
+    p.set_shuffle(shuffle);
+    p.run_epochs(WARMUP);
+    let victim = p.workload.apps_by_popularity()[0];
+    p.workload.add_flash_crowd(FlashCrowd {
+        app: victim,
+        start: p.now() + SimDuration::from_secs(20),
+        ramp: SimDuration::from_secs(300),
+        duration: SimDuration::from_secs(1800),
+        peak: 8.0,
+    });
+    p.run_epochs(EPOCHS);
+    (
+        p.registry.render_text("determinism"),
+        p.registry.render_jsonl("determinism"),
+    )
+}
+
+/// Every (shuffle seed × thread count) combination must reproduce the
+/// unshuffled single-thread exports byte-for-byte.
+#[test]
+fn metrics_export_is_byte_identical_across_threads_and_shuffle() {
+    let (base_text, base_jsonl) = run_scenario(1, None);
+    assert!(
+        base_text.contains("megadc_served_fraction"),
+        "export missing expected metric:\n{base_text}"
+    );
+    for &seed in &SHUFFLE_SEEDS {
+        for &threads in &THREADS {
+            let (text, jsonl) = run_scenario(threads, Some(seed));
+            assert_eq!(
+                base_text, text,
+                "text export diverged under MEGADC_SHUFFLE={seed} at {threads} threads"
+            );
+            assert_eq!(
+                base_jsonl, jsonl,
+                "jsonl export diverged under MEGADC_SHUFFLE={seed} at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The scrape is on by default and produced real observations: counters
+/// advanced, utilization histograms filled, and the SLO score tracked
+/// the flash crowd's overload window.
+#[test]
+fn scrape_populates_counters_histograms_and_slo() {
+    use obs::metrics::ids;
+    let mut p = Platform::build(e17_config(1)).expect("build");
+    p.run_epochs(WARMUP);
+    let victim = p.workload.apps_by_popularity()[0];
+    p.workload.add_flash_crowd(FlashCrowd {
+        app: victim,
+        start: p.now() + SimDuration::from_secs(20),
+        ramp: SimDuration::from_secs(300),
+        duration: SimDuration::from_secs(1800),
+        peak: 8.0,
+    });
+    p.run_epochs(EPOCHS);
+    let r = &p.registry;
+    assert_eq!(r.counter(ids::EPOCHS), WARMUP + EPOCHS);
+    assert!(r.counter(ids::POD_PLANS) > 0, "no pod plans");
+    assert!(
+        r.histogram_count(ids::POD_UTIL) > 0,
+        "pod utilization histogram never observed"
+    );
+    assert!(
+        r.gauge(ids::SERVED_FRACTION) > 0.9,
+        "implausible final served fraction"
+    );
+    assert!(
+        r.counter(ids::SLO_OVERLOAD_EPOCHS) > 0,
+        "flash crowd produced no SLO overload epochs"
+    );
+    // Disabling the knob stops the scrape entirely.
+    let mut cfg = e17_config(1);
+    cfg.metrics = false;
+    let mut off = Platform::build(cfg).expect("build");
+    off.run_epochs(5);
+    assert_eq!(off.registry.counter(ids::EPOCHS), 0);
+}
